@@ -1,0 +1,150 @@
+package aquago
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCodebookSurface(t *testing.T) {
+	if len(Codebook()) != 240 {
+		t.Fatal("codebook size")
+	}
+	if len(CommonMessages()) != 20 {
+		t.Fatal("common messages")
+	}
+	if _, ok := LookupMessage("OK?"); !ok {
+		t.Fatal("LookupMessage")
+	}
+	if len(SearchMessages("shark")) == 0 {
+		t.Fatal("SearchMessages")
+	}
+}
+
+func TestModemEncodeDecode(t *testing.T) {
+	m, err := NewModem(WithBand(5, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SampleRate() != 48000 {
+		t.Fatal("sample rate")
+	}
+	if m.Band() != (Band{Lo: 5, Hi: 40}) {
+		t.Fatal("band")
+	}
+	if m.BitrateBPS() <= 0 {
+		t.Fatal("bitrate")
+	}
+	ok, _ := LookupMessage("OK?")
+	up, _ := LookupMessage("Go up")
+	wave, err := m.EncodeMessages(7, ok.ID, up.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, decoded := m.DecodeMessages(wave, 7)
+	if !decoded {
+		t.Fatal("clean loopback failed")
+	}
+	if len(msgs) != 2 || msgs[0].Text != "OK?" || msgs[1].Text != "Go up" {
+		t.Fatalf("decoded %v", msgs)
+	}
+}
+
+func TestModemWAVRoundTrip(t *testing.T) {
+	m, err := NewModem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "msg.wav")
+	help, _ := LookupMessage("Help me")
+	if err := m.EncodeToWAV(path, 3, help.ID, NoMessage); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := m.DecodeFromWAV(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Text != "Help me" {
+		t.Fatalf("decoded %v", msgs)
+	}
+}
+
+func TestSessionOverSimulatedWater(t *testing.T) {
+	med, err := SimulatedWater(Bridge, AtDistance(5), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Dial(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := LookupMessage("OK?")
+	res, err := sess.Send(med, 9, ok.ID, NoMessage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || !res.Acknowledged {
+		t.Fatalf("send failed: %+v", res)
+	}
+}
+
+func TestSessionExchangeResult(t *testing.T) {
+	med, err := SimulatedWater(Lake, AtDistance(10), WithSeed(12), WithMotion(SlowMotion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Dial(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Exchange(med, Packet{Dst: 9, Payload: [2]byte{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PreambleDetected {
+		t.Fatal("preamble lost at 10 m lake")
+	}
+	if res.Band.Width() < 1 {
+		t.Fatal("no band selected")
+	}
+}
+
+func TestBeaconSurface(t *testing.T) {
+	b, err := NewBeacon(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := b.EncodeID(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]float64, len(tx)+2000)
+	copy(rx[500:], tx)
+	bits, _, ok := b.Decode(rx, 6)
+	if !ok {
+		t.Fatal("beacon decode failed")
+	}
+	id := 0
+	for _, bit := range bits {
+		id = id<<1 | bit
+	}
+	if id != 13 {
+		t.Fatalf("beacon ID %d, want 13", id)
+	}
+	if _, err := NewBeacon(3); err == nil {
+		t.Fatal("invalid beacon rate accepted")
+	}
+}
+
+func TestSimulatedWaterOptions(t *testing.T) {
+	// Every option must compose without error.
+	med, err := SimulatedWater(Bay,
+		AtDistance(12), AtDepth(2), WithDevices(GalaxyS9, Pixel4),
+		WithMotion(FastMotion), WithOrientation(90), WithHardCase(),
+		WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med == nil {
+		t.Fatal("nil medium")
+	}
+}

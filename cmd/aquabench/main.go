@@ -1,0 +1,65 @@
+// Command aquabench regenerates the paper's evaluation artifacts:
+// every figure and table of §3 has a harness in internal/exp, and
+// this tool runs them and prints the same series the paper plots.
+//
+// Usage:
+//
+//	aquabench -list
+//	aquabench -exp fig09,fig12 [-packets 100] [-seed 1]
+//	aquabench -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aquago/internal/exp"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	all := flag.Bool("all", false, "run every experiment")
+	ids := flag.String("exp", "", "comma-separated experiment IDs")
+	packets := flag.Int("packets", 0, "packets per measurement point (0 = default 100)")
+	seed := flag.Int64("seed", 1, "random seed")
+	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	var selected []string
+	switch {
+	case *all:
+		selected = exp.IDs()
+	case *ids != "":
+		selected = strings.Split(*ids, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "aquabench: pass -all, -exp id[,id...] or -list")
+		os.Exit(2)
+	}
+
+	cfg := exp.RunConfig{Packets: *packets, Seed: *seed, Quick: *quick}
+	failed := false
+	for _, id := range selected {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := exp.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aquabench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		rep.Render(os.Stdout)
+		fmt.Printf("   [%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

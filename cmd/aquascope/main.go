@@ -1,0 +1,115 @@
+// Command aquascope inspects underwater-modem audio: it renders a
+// terminal spectrogram of a WAV file and annotates any AquaApp
+// packets it can detect (preamble position and confidence, header ID,
+// decoded messages when a band is given).
+//
+// Usage:
+//
+//	aquascope -in capture.wav [-band 5:40] [-rows 16]
+//
+// Generate something to look at with:
+//
+//	aquawav send -out msg.wav -to 9 -msg "OK?"
+//	aquascope -in msg.wav -band 0:59
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aquago/internal/app"
+	"aquago/internal/audio"
+	"aquago/internal/dsp"
+	"aquago/internal/modem"
+	"aquago/internal/phy"
+)
+
+func main() {
+	in := flag.String("in", "", "input WAV file")
+	band := flag.String("band", "", "data band LO:HI to attempt packet decode")
+	rows := flag.Int("rows", 14, "spectrogram height in rows")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "aquascope: -in is required")
+		os.Exit(2)
+	}
+	if err := run(*in, *band, *rows); err != nil {
+		fmt.Fprintln(os.Stderr, "aquascope:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, bandSpec string, rows int) error {
+	samples, rate, err := audio.ReadWAVFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %.2f s at %d Hz\n\n", path, float64(len(samples))/float64(rate), rate)
+
+	// Spectrogram of the modem band.
+	const winLen = 1024
+	stft := dsp.STFT(samples, winLen, winLen/2, dsp.Hann)
+	lines := dsp.SpectrogramASCII(stft, winLen, float64(rate), 500, 4500, rows)
+	fmt.Println("spectrogram 0.5-4.5 kHz (top = high frequency):")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	fmt.Println()
+
+	if rate != modem.DefaultSampleRate {
+		fmt.Printf("sample rate %d != %d: packet analysis skipped\n", rate, modem.DefaultSampleRate)
+		return nil
+	}
+	m, err := modem.New(modem.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	det := modem.NewDetector(m)
+	tones := phy.NewTones(m)
+	dets := det.DetectAll(samples)
+	if len(dets) == 0 {
+		fmt.Println("no preambles detected")
+		return nil
+	}
+	for i, d := range dets {
+		fmt.Printf("preamble %d at sample %d (t=%.3f s), confidence %.2f\n",
+			i+1, d.Offset, float64(d.Offset)/float64(rate), d.Metric)
+		hdrOff := d.Offset + m.PreambleLen()
+		if dec, err := tones.DecodeTone(samples, hdrOff); err == nil {
+			fmt.Printf("  header tone: bin %d (device ID %d), dominance %.2f\n",
+				dec.Bin, dec.Bin, dec.Fraction)
+		}
+	}
+	// Optional full decode at a known band.
+	if bandSpec != "" {
+		parts := strings.SplitN(bandSpec, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("band %q not in LO:HI form", bandSpec)
+		}
+		lo, err1 := strconv.Atoi(parts[0])
+		hi, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("band %q not numeric", bandSpec)
+		}
+		shot, err := phy.NewOneShot(m, modem.Band{Lo: lo, Hi: hi})
+		if err != nil {
+			return err
+		}
+		if dec, ok := shot.Decode(samples, -1); ok {
+			fmt.Printf("\ndecoded packet for device %d:\n", dec.Packet.Dst)
+			if msgs, err := app.DecodePayload(dec.Packet.Payload); err == nil {
+				for _, msg := range msgs {
+					fmt.Printf("  [%s] %s\n", msg.Category, msg.Text)
+				}
+			} else {
+				fmt.Printf("  payload %x (not a codebook pair)\n", dec.Packet.Payload)
+			}
+		} else {
+			fmt.Println("\nno packet decodable on that band")
+		}
+	}
+	return nil
+}

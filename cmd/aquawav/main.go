@@ -1,0 +1,167 @@
+// Command aquawav encodes AquaApp messages into WAV files and decodes
+// them back — the offline, fixed-band messaging path. A phone playing
+// the produced file through its speaker transmits a real AquaApp
+// packet.
+//
+// Usage:
+//
+//	aquawav send -out msg.wav -to 9 -msg "OK?" [-msg2 "Go up"] [-band 5:40]
+//	aquawav recv -in msg.wav -self 9
+//	aquawav list [-category safety] [-search air]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"aquago"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "send":
+		err = cmdSend(os.Args[2:])
+	case "recv":
+		err = cmdRecv(os.Args[2:])
+	case "list":
+		err = cmdList(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aquawav:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  aquawav send -out msg.wav -to ID -msg TEXT [-msg2 TEXT] [-band LO:HI]
+  aquawav recv -in msg.wav -self ID
+  aquawav list [-category NAME] [-search QUERY]`)
+}
+
+func parseBand(s string) (lo, hi int, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("band %q not in LO:HI form", s)
+	}
+	lo, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return
+	}
+	hi, err = strconv.Atoi(parts[1])
+	return
+}
+
+func cmdSend(args []string) error {
+	fs := flag.NewFlagSet("send", flag.ExitOnError)
+	out := fs.String("out", "message.wav", "output WAV path")
+	to := fs.Int("to", 0, "destination device ID (0-59)")
+	msg := fs.String("msg", "", "message text (exact, see 'aquawav list')")
+	msg2 := fs.String("msg2", "", "optional second message text")
+	band := fs.String("band", "", "fixed band LO:HI in subcarrier indices (default full)")
+	fs.Parse(args)
+	if *msg == "" {
+		return fmt.Errorf("-msg is required")
+	}
+	m1, ok := aquago.LookupMessage(*msg)
+	if !ok {
+		return fmt.Errorf("unknown message %q (try 'aquawav list -search ...')", *msg)
+	}
+	second := uint8(aquago.NoMessage)
+	if *msg2 != "" {
+		m2, ok := aquago.LookupMessage(*msg2)
+		if !ok {
+			return fmt.Errorf("unknown message %q", *msg2)
+		}
+		second = m2.ID
+	}
+	var opts []aquago.ModemOption
+	if *band != "" {
+		lo, hi, err := parseBand(*band)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, aquago.WithBand(lo, hi))
+	}
+	modem, err := aquago.NewModem(opts...)
+	if err != nil {
+		return err
+	}
+	if err := modem.EncodeToWAV(*out, aquago.DeviceID(*to), m1.ID, second); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %q", *out, m1.Text)
+	if second != aquago.NoMessage {
+		fmt.Printf(" + %q", *msg2)
+	}
+	fmt.Printf(" -> device %d, band %v, %.0f bps\n", *to, modem.Band(), modem.BitrateBPS())
+	return nil
+}
+
+func cmdRecv(args []string) error {
+	fs := flag.NewFlagSet("recv", flag.ExitOnError)
+	in := fs.String("in", "", "input WAV path")
+	self := fs.Int("self", -1, "own device ID (-1 = accept any)")
+	band := fs.String("band", "", "fixed band LO:HI (must match the sender)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	var opts []aquago.ModemOption
+	if *band != "" {
+		lo, hi, err := parseBand(*band)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, aquago.WithBand(lo, hi))
+	}
+	modem, err := aquago.NewModem(opts...)
+	if err != nil {
+		return err
+	}
+	msgs, err := modem.DecodeFromWAV(*in, aquago.DeviceID(*self))
+	if err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		fmt.Printf("[%s] %s\n", m.Category, m.Text)
+	}
+	return nil
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	category := fs.String("category", "", "filter by category name")
+	search := fs.String("search", "", "filter by substring")
+	common := fs.Bool("common", false, "only the 20 most common signals")
+	fs.Parse(args)
+	msgs := aquago.Codebook()
+	if *common {
+		msgs = aquago.CommonMessages()
+	}
+	if *search != "" {
+		msgs = aquago.SearchMessages(*search)
+	}
+	for _, m := range msgs {
+		if *category != "" && m.Category.String() != *category {
+			continue
+		}
+		star := " "
+		if m.Common {
+			star = "*"
+		}
+		fmt.Printf("%3d %s [%-12s] %s\n", m.ID, star, m.Category, m.Text)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package aquago_test
+
+import (
+	"fmt"
+	"log"
+
+	"aquago"
+)
+
+// ExampleSession_Send demonstrates the full adaptive protocol over
+// simulated water: band selection, feedback, data, ACK.
+func ExampleSession_Send() {
+	water, err := aquago.SimulatedWater(aquago.Bridge,
+		aquago.AtDistance(5), aquago.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := aquago.Dial(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, _ := aquago.LookupMessage("OK?")
+	res, err := session.Send(water, 9, ok.ID, aquago.NoMessage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("delivered:", res.Delivered, "acknowledged:", res.Acknowledged)
+	// Output: delivered: true acknowledged: true
+}
+
+// ExampleModem_EncodeMessages shows the signal-level API: a message
+// becomes audio samples and back, no feedback channel required.
+func ExampleModem_EncodeMessages() {
+	modem, err := aquago.NewModem(aquago.WithBand(10, 40))
+	if err != nil {
+		log.Fatal(err)
+	}
+	help, _ := aquago.LookupMessage("Help me")
+	wave, err := modem.EncodeMessages(3, help.ID, aquago.NoMessage)
+	if err != nil {
+		log.Fatal(err)
+	}
+	msgs, ok := modem.DecodeMessages(wave, 3)
+	fmt.Println(ok, msgs[0].Text)
+	// Output: true Help me
+}
+
+// ExampleLookupMessage shows codebook access.
+func ExampleLookupMessage() {
+	m, ok := aquago.LookupMessage("Out of air")
+	fmt.Println(ok, m.Category, m.Common)
+	// Output: true air-and-gas true
+}
+
+// ExampleNewBeacon encodes and decodes a long-range SoS identity.
+func ExampleNewBeacon() {
+	beacon, err := aquago.NewBeacon(10) // 10 bps FSK
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx, err := beacon.EncodeID(27)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bits, _, ok := beacon.Decode(tx, 6)
+	id := 0
+	for _, b := range bits {
+		id = id<<1 | b
+	}
+	fmt.Println(ok, id)
+	// Output: true 27
+}

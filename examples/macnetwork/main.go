@@ -1,0 +1,73 @@
+// MAC network: three divers keep messaging one receiver. Without
+// carrier sense their packets collide about half the time; with the
+// paper's energy-detection MAC (80 ms sensing, packet-quantum random
+// backoff) collisions nearly vanish (Fig 19). The example also mixes
+// two concurrent transmissions into actual receiver audio to show
+// what a collision sounds like to the demodulator.
+//
+//	go run ./examples/macnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aquago/internal/channel"
+	"aquago/internal/dsp"
+	"aquago/internal/mac"
+	"aquago/internal/sim"
+)
+
+func main() {
+	// Fig 19's deployment: three transmitters 5-10 m from a receiver
+	// under the bridge.
+	build := func() (*sim.Medium, []int) {
+		med := sim.New(channel.Bridge)
+		med.AddNode(sim.Position{X: 0, Z: 1}) // receiver
+		var tx []int
+		for i := 0; i < 3; i++ {
+			tx = append(tx, med.AddNode(sim.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1}))
+		}
+		return med, tx
+	}
+
+	fmt.Println("three transmitters, 120 packets each:")
+	for _, cs := range []bool{false, true} {
+		med, tx := build()
+		res := mac.RunNetwork(med, tx, mac.Config{
+			CarrierSense: cs,
+			PacketsPerTx: 120,
+			Seed:         11,
+		})
+		mode := "without carrier sense"
+		if cs {
+			mode = "with carrier sense   "
+		}
+		fmt.Printf("  %s: %5.1f%% of packets collided (%d sent in %.0f s)\n",
+			mode, 100*res.CollisionFraction, res.Sent, res.DurationS)
+		for _, id := range tx {
+			c := res.PerNode[id]
+			fmt.Printf("    node %d: %3d/%d collided\n", id, c[0], c[1])
+		}
+	}
+
+	// What a collision physically is: two packets overlapping in the
+	// receiver's ear. Mix two tones through the waveform medium.
+	fmt.Println("\nanatomy of a collision (waveform mix at the receiver):")
+	w := sim.NewWaveMedium(channel.Bridge, 48000, 5)
+	rxNode := w.AddNode(sim.Position{X: 0, Z: 1})
+	a := w.AddNode(sim.Position{X: 5, Z: 1})
+	b := w.AddNode(sim.Position{X: 8, Z: 1})
+	w.TransmitWave(a, 0.010, 0, dsp.Tone(2000, 0.25, 48000))
+	w.TransmitWave(b, 0.120, 0, dsp.Tone(3000, 0.25, 48000)) // overlaps
+	ear, err := w.ReceiveWindow(rxNode, 0, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	during := dsp.BandPower(ear[int(0.15*48000):int(0.25*48000)], 48000, 1000, 4000)
+	clear := dsp.BandPower(ear[int(0.42*48000):], 48000, 1000, 4000)
+	fmt.Printf("  in-band power during overlap: %.2e, after both end: %.2e (%.0f dB apart)\n",
+		during, clear, dsp.DB(during/clear))
+	per, frac := w.CollisionStats()
+	fmt.Printf("  collision accounting: %.0f%% of packets involved (per node: %v)\n", 100*frac, per)
+}

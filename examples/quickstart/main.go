@@ -1,0 +1,44 @@
+// Quickstart: send "OK?" between two simulated phones 5 m apart in a
+// lake, through the full adaptive protocol (preamble, per-subcarrier
+// SNR estimation, band adaptation, feedback, data, ACK).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aquago"
+)
+
+func main() {
+	// A lake, two Galaxy S9s at 1 m depth, 5 m apart.
+	water, err := aquago.SimulatedWater(aquago.Lake,
+		aquago.AtDistance(5),
+		aquago.WithSeed(42),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// This device is ID 4; the buddy diver is ID 9.
+	session, err := aquago.Dial(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	okSignal, _ := aquago.LookupMessage("OK?")
+	res, err := session.Send(water, 9, okSignal.ID, aquago.NoMessage)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("message:   %q\n", okSignal.Text)
+	fmt.Printf("delivered: %v (attempts: %d, acknowledged: %v)\n",
+		res.Delivered, res.Attempts, res.Acknowledged)
+	fmt.Printf("band:      subcarriers %d-%d (%.0f-%.0f Hz)\n",
+		res.Last.Band.Lo, res.Last.Band.Hi,
+		1000+50*float64(res.Last.Band.Lo), 1000+50*float64(res.Last.Band.Hi))
+	fmt.Printf("bitrate:   %.0f bps\n", res.Last.BitrateBPS)
+}

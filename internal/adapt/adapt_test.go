@@ -1,0 +1,336 @@
+package adapt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aquago/internal/dsp"
+	"aquago/internal/modem"
+)
+
+func flatSNR(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSelectAllAboveThreshold(t *testing.T) {
+	s := NewSelector()
+	band, ok := s.Select(flatSNR(60, 20))
+	if !ok {
+		t.Fatal("high SNR not selected")
+	}
+	if band.Lo != 0 || band.Hi != 59 {
+		t.Fatalf("expected full band, got %+v", band)
+	}
+}
+
+func TestSelectAllBelowThreshold(t *testing.T) {
+	s := NewSelector()
+	// Even one bin with all power reallocated:
+	// -30 + 0.8*10*log10(60) ≈ -15.8 dB < 7 dB -> no band.
+	if _, ok := s.Select(flatSNR(60, -30)); ok {
+		t.Fatal("hopeless SNR should select nothing")
+	}
+}
+
+func TestSelectReallocationEnablesNarrowBand(t *testing.T) {
+	s := NewSelector()
+	// 4 dB flat: below the 7 dB threshold at full width, but narrowing
+	// gains 0.8*10*log10(60/L); for L small enough the constraint
+	// holds: need 4 + 8*log10(60/L) > 7 -> log10(60/L) > 0.375 ->
+	// L < 60/10^0.375 ≈ 25.3, so the widest feasible band is 25 bins.
+	band, ok := s.Select(flatSNR(60, 4))
+	if !ok {
+		t.Fatal("reallocation should make a narrow band feasible")
+	}
+	if band.Width() != 25 {
+		t.Fatalf("band width %d, want 25", band.Width())
+	}
+	if band.Lo != 0 {
+		t.Fatalf("tie should break to the leftmost window, got %+v", band)
+	}
+}
+
+func TestSelectAvoidsNotch(t *testing.T) {
+	s := NewSelector()
+	snr := flatSNR(60, 20)
+	// Deep multipath notch at bins 25-29.
+	for k := 25; k < 30; k++ {
+		snr[k] = -10
+	}
+	band, ok := s.Select(snr)
+	if !ok {
+		t.Fatal("should find a band beside the notch")
+	}
+	if band.Lo <= 29 && band.Hi >= 25 {
+		t.Fatalf("band %+v overlaps the notch", band)
+	}
+	if band.Width() != 30 {
+		// The right side [30,59] is the widest clean window.
+		t.Fatalf("band %+v, want the 30-bin window right of the notch", band)
+	}
+}
+
+func TestSelectConstraintHolds(t *testing.T) {
+	// Property: the returned band always satisfies the optimization
+	// constraint, and widening it by one bin on either side violates
+	// feasibility or the band is already maximal for its width.
+	rng := rand.New(rand.NewSource(90))
+	s := NewSelector()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n0 := 10 + int(r.Int31n(60))
+		snr := make([]float64, n0)
+		for i := range snr {
+			snr[i] = -10 + 40*r.Float64()
+		}
+		band, ok := s.Select(snr)
+		if !ok {
+			// Verify infeasibility of every single bin.
+			for k := 0; k < n0; k++ {
+				if s.EffectiveSNR(snr[k], 1, n0) > s.ThresholdDB {
+					return false
+				}
+			}
+			return true
+		}
+		l := band.Width()
+		for k := band.Lo; k <= band.Hi; k++ {
+			if s.EffectiveSNR(snr[k], l, n0) <= s.ThresholdDB {
+				return false
+			}
+		}
+		// No window of width l+1 may be feasible (maximality).
+		if l < n0 {
+			for m := 0; m+l+1 <= n0; m++ {
+				feasible := true
+				for k := m; k < m+l+1; k++ {
+					if s.EffectiveSNR(snr[k], l+1, n0) <= s.ThresholdDB {
+						feasible = false
+						break
+					}
+				}
+				if feasible {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectFastMatchesSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	s := NewSelector()
+	for trial := 0; trial < 300; trial++ {
+		n0 := 1 + int(rng.Int31n(80))
+		snr := make([]float64, n0)
+		for i := range snr {
+			snr[i] = -15 + 40*rng.Float64()
+		}
+		b1, ok1 := s.Select(snr)
+		b2, ok2 := s.SelectFast(snr)
+		if ok1 != ok2 || (ok1 && (b1 != b2)) {
+			t.Fatalf("trial %d: Select=%+v(%v) SelectFast=%+v(%v) snr=%v",
+				trial, b1, ok1, b2, ok2, snr)
+		}
+	}
+}
+
+func TestSelectEmptyInput(t *testing.T) {
+	s := NewSelector()
+	if _, ok := s.Select(nil); ok {
+		t.Fatal("empty SNR vector should select nothing")
+	}
+	if _, ok := s.SelectFast(nil); ok {
+		t.Fatal("empty SNR vector should select nothing (fast)")
+	}
+}
+
+func TestBitrateBPS(t *testing.T) {
+	cfg := modem.DefaultConfig()
+	// 19-bin band at 50 Hz spacing with 2/3 coding = 633.33 bps,
+	// the paper's median at 5 m.
+	b := modem.Band{Lo: 10, Hi: 28}
+	if got := BitrateBPS(b, cfg, 2.0/3.0); math.Abs(got-633.333) > 0.01 {
+		t.Fatalf("bitrate %g, want 633.33", got)
+	}
+	// 4 bins -> 133.33 bps, the paper's median at 30 m.
+	b = modem.Band{Lo: 0, Hi: 3}
+	if got := BitrateBPS(b, cfg, 2.0/3.0); math.Abs(got-133.333) > 0.01 {
+		t.Fatalf("bitrate %g, want 133.33", got)
+	}
+}
+
+func mustModem(t testing.TB) *modem.Modem {
+	t.Helper()
+	m, err := modem.New(modem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFeedbackRoundTripClean(t *testing.T) {
+	m := mustModem(t)
+	fb := NewFeedback(m)
+	bands := []modem.Band{
+		{Lo: 0, Hi: 59}, {Lo: 10, Hi: 28}, {Lo: 5, Hi: 5}, {Lo: 0, Hi: 1}, {Lo: 58, Hi: 59},
+	}
+	for _, band := range bands {
+		sym, err := fb.Encode(band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sym) != m.Config().SymbolLen() {
+			t.Fatalf("feedback symbol %d samples", len(sym))
+		}
+		// Receiver sees it after some unknown delay.
+		rx := make([]float64, len(sym)+500)
+		dsp.AddAt(rx, sym, 137)
+		got, ok := fb.Decode(rx, 400, 8)
+		if !ok {
+			t.Fatalf("band %+v: feedback not decoded", band)
+		}
+		if got != band {
+			t.Fatalf("band %+v decoded as %+v", band, got)
+		}
+	}
+}
+
+func TestFeedbackRoundTripNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	m := mustModem(t)
+	fb := NewFeedback(m)
+	band := modem.Band{Lo: 7, Hi: 43}
+	sym, err := fb.Encode(band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		rx := make([]float64, len(sym)+2000)
+		for i := range rx {
+			rx[i] = 0.1 * rng.NormFloat64()
+		}
+		dsp.AddAt(rx, sym, 60+int(rng.Int31n(800)))
+		got, ok := fb.Decode(rx, 1200, 8)
+		if !ok || got != band {
+			errs++
+		}
+	}
+	// The paper measures ~1% feedback error; at this SNR we allow a
+	// small number of failures out of 50.
+	if errs > 2 {
+		t.Fatalf("feedback errors %d/%d", errs, trials)
+	}
+}
+
+func TestFeedbackNoSymbolPresent(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	m := mustModem(t)
+	fb := NewFeedback(m)
+	rx := make([]float64, 5000)
+	for i := range rx {
+		rx[i] = rng.NormFloat64()
+	}
+	if band, ok := fb.Decode(rx, 3000, 8); ok {
+		t.Fatalf("noise decoded as feedback %+v", band)
+	}
+}
+
+func TestFeedbackValidation(t *testing.T) {
+	m := mustModem(t)
+	fb := NewFeedback(m)
+	if _, err := fb.Encode(modem.Band{Lo: -1, Hi: 5}); err == nil {
+		t.Fatal("expected invalid band error")
+	}
+	if _, err := fb.Encode(modem.Band{Lo: 0, Hi: 60}); err == nil {
+		t.Fatal("expected out-of-range band error")
+	}
+}
+
+func TestFeedbackPowerConcentration(t *testing.T) {
+	// The design premise: the two marker tones carry (almost) all the
+	// symbol energy.
+	m := mustModem(t)
+	fb := NewFeedback(m)
+	band := modem.Band{Lo: 12, Hi: 47}
+	sym, err := fb.Encode(band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, err := m.DemodSymbol(sym[m.Config().CPLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tones, rest float64
+	for i, v := range bins {
+		if i == 12 || i == 47 {
+			tones += dsp.CAbs2(v)
+		} else {
+			rest += dsp.CAbs2(v)
+		}
+	}
+	if tones < 1000*rest {
+		t.Fatalf("tone power %g vs other-bin power %g", tones, rest)
+	}
+}
+
+func BenchmarkSelect60Bins(b *testing.B) {
+	rng := rand.New(rand.NewSource(94))
+	s := NewSelector()
+	snr := make([]float64, 60)
+	for i := range snr {
+		snr[i] = -5 + 30*rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Select(snr)
+	}
+}
+
+func BenchmarkSelectFast60Bins(b *testing.B) {
+	rng := rand.New(rand.NewSource(95))
+	s := NewSelector()
+	snr := make([]float64, 60)
+	for i := range snr {
+		snr[i] = -5 + 30*rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SelectFast(snr)
+	}
+}
+
+func BenchmarkFeedbackDecode(b *testing.B) {
+	m, err := modem.New(modem.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fb := NewFeedback(m)
+	sym, err := fb.Encode(modem.Band{Lo: 7, Hi: 43})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := make([]float64, len(sym)+2000)
+	dsp.AddAt(rx, sym, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := fb.Decode(rx, 1500, 8); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"aquago/internal/dsp"
+	"aquago/internal/modem"
+)
+
+// Feedback encodes and decodes the post-preamble feedback symbol: a
+// single OFDM symbol whose entire transmit power sits in the two
+// subcarriers marking f_begin and f_end of the selected band. The
+// concentration of power is what makes the feedback decodable on the
+// reverse channel without any channel knowledge — the receiver simply
+// picks the two strongest bins (§2.2.3).
+type Feedback struct {
+	m *Modem
+}
+
+// Modem is a narrow alias used to keep the adapt package independent
+// of the full modem surface in its public signatures.
+type Modem = modem.Modem
+
+// NewFeedback returns a feedback codec bound to a modem configuration.
+func NewFeedback(m *Modem) *Feedback { return &Feedback{m: m} }
+
+// Encode builds the feedback OFDM symbol for band b. The two marker
+// tones split the symbol's unit power; a single-bin band (Lo == Hi)
+// places all power on one tone, which Decode recognizes.
+func (f *Feedback) Encode(b modem.Band) ([]float64, error) {
+	nb := f.m.Config().NumBins()
+	if !b.Valid(nb) {
+		return nil, fmt.Errorf("adapt: invalid band %+v for %d bins", b, nb)
+	}
+	bins := make([]complex128, nb)
+	if b.Lo == b.Hi {
+		bins[b.Lo] = 1
+	} else {
+		bins[b.Lo] = 1
+		bins[b.Hi] = 1
+	}
+	sym, err := f.m.ModulateSymbol(bins)
+	if err != nil {
+		return nil, err
+	}
+	// All power in two tones: normalize to unit RMS like data symbols
+	// so the transmit amplifier model treats every symbol equally.
+	rms := dsp.RMS(sym)
+	if rms > 0 {
+		dsp.Scale(sym, 1/rms)
+	}
+	return sym, nil
+}
+
+// Decode searches rx with a sliding FFT window (stride = step samples,
+// up to maxDelay samples of search range) for the feedback symbol and
+// returns the band encoded by its two strongest bins. The paper sizes
+// maxDelay by the maximum round-trip time (30 m); step trades compute
+// for alignment accuracy.
+//
+// It returns ok = false when no window contains a plausible two-tone
+// symbol (energy concentration test), which the transmitter treats as
+// feedback loss and a packet failure.
+func (f *Feedback) Decode(rx []float64, maxDelay, step int) (modem.Band, bool) {
+	cfg := f.m.Config()
+	n := cfg.N()
+	cp := cfg.CPLen
+	if step < 1 {
+		step = cp / 2
+		if step < 1 {
+			step = 1
+		}
+	}
+	if maxDelay < 0 {
+		maxDelay = 0
+	}
+	if n > len(rx) {
+		return modem.Band{}, false
+	}
+	// Stage 1: energy alignment. A window fully inside the symbol
+	// captures maximal energy; windows hanging over the symbol edge
+	// lose energy AND smear tone power into adjacent bins (leakage
+	// that can outvote a genuinely faded second tone). Restrict
+	// classification to the top-energy plateau.
+	var we float64
+	for _, v := range rx[:n] {
+		we += v * v
+	}
+	maxE := we
+	energies := []float64{we}
+	limit := min(maxDelay, len(rx)-n)
+	for off := 1; off <= limit; off++ {
+		we += rx[off+n-1]*rx[off+n-1] - rx[off-1]*rx[off-1]
+		energies = append(energies, we)
+		if we > maxE {
+			maxE = we
+		}
+	}
+	if maxE <= 0 {
+		return modem.Band{}, false
+	}
+	// Stage 2: score-weighted vote across plateau windows.
+	votes := map[modem.Band]float64{}
+	bestScore := map[modem.Band]float64{}
+	for off := 0; off <= limit; off += step {
+		if energies[off] < 0.95*maxE {
+			continue
+		}
+		bins, err := f.m.DemodSymbol(rx[off : off+n])
+		if err != nil {
+			return modem.Band{}, false
+		}
+		band, score := f.classify(bins)
+		if score <= 0 {
+			continue
+		}
+		votes[band] += score
+		if score > bestScore[band] {
+			bestScore[band] = score
+		}
+	}
+	var winner modem.Band
+	var winnerVotes float64
+	for band, v := range votes {
+		if v > winnerVotes {
+			winner, winnerVotes = band, v
+		}
+	}
+	// Concentration threshold: the top tones must dominate the band.
+	// Gaussian noise alone concentrates ~0.15 of its power in the top
+	// two of 60 bins; 0.35 rejects it while tolerating one faded tone.
+	if winnerVotes == 0 || bestScore[winner] < 0.35 {
+		return modem.Band{}, false
+	}
+	return winner, true
+}
+
+// classify finds the top-2 bins and scores the hypothesis by the
+// fraction of total band energy they carry. A second tone counts only
+// if it clears the noise floor (median bin power) by a wide margin —
+// otherwise the symbol is treated as single-tone (Lo == Hi band).
+func (f *Feedback) classify(bins []complex128) (modem.Band, float64) {
+	powers := make([]float64, len(bins))
+	var total float64
+	i1, i2 := -1, -1
+	var p1, p2 float64
+	for i, v := range bins {
+		p := dsp.CAbs2(v)
+		powers[i] = p
+		total += p
+		switch {
+		case p > p1:
+			p2, i2 = p1, i1
+			p1, i1 = p, i
+		case p > p2:
+			p2, i2 = p, i
+		}
+	}
+	if total <= 0 || i1 < 0 {
+		return modem.Band{}, 0
+	}
+	noiseFloor := dsp.Median(powers)
+	toneGate := math.Max(8*noiseFloor, p1*1e-4)
+	if i2 < 0 || p2 < toneGate {
+		return modem.Band{Lo: i1, Hi: i1}, p1 / total
+	}
+	lo, hi := i1, i2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return modem.Band{Lo: lo, Hi: hi}, (p1 + p2) / total
+}
+
+// SymbolLen returns the feedback symbol length in samples (CP + body).
+func (f *Feedback) SymbolLen() int { return f.m.Config().SymbolLen() }

@@ -1,0 +1,143 @@
+// Package adapt implements AquaApp's frequency band adaptation: the
+// band selection optimization (Algorithm 1 in the paper) that picks
+// the widest contiguous set of OFDM subcarriers whose SNR — after
+// reallocating the dropped subcarriers' power — clears a threshold,
+// and the two-tone feedback symbol that carries the selected band from
+// the receiver back to the transmitter.
+package adapt
+
+import (
+	"math"
+
+	"aquago/internal/modem"
+)
+
+// Paper parameter defaults (§2.2.2): SNR threshold epsilon = 7 dB and
+// conservative factor lambda = 0.8, both chosen conservatively to
+// absorb SNR estimation error and channel drift due to mobility.
+const (
+	DefaultSNRThresholdDB = 7.0
+	DefaultLambda         = 0.8
+)
+
+// Selector holds the band selection parameters.
+type Selector struct {
+	// ThresholdDB is epsilon_SNR: every subcarrier in the chosen band
+	// must exceed it after power reallocation.
+	ThresholdDB float64
+	// Lambda in [0,1] discounts the reallocation gain because real
+	// power reallocation is inexact.
+	Lambda float64
+}
+
+// NewSelector returns a selector with the paper's parameters.
+func NewSelector() *Selector {
+	return &Selector{ThresholdDB: DefaultSNRThresholdDB, Lambda: DefaultLambda}
+}
+
+// Select solves the paper's optimization over per-subcarrier SNR
+// estimates (dB):
+//
+//	max  L = n - m + 1
+//	s.t. SNR_k + lambda*10*log10(N0/L) > epsilon   for all k in [m, n]
+//
+// It scans window lengths L from N0 down to 1 and returns the first
+// (widest) window that satisfies the constraint, i.e. the largest
+// contiguous band. The boolean is false if even a single subcarrier
+// cannot clear the threshold with all power concentrated on it — the
+// caller should then refuse to transmit or fall back to the beacon
+// rates.
+//
+// Complexity is O(N0^2) worst case like the paper's Algorithm 1
+// (SelectFast is the O(N0 log N0) sliding-minimum variant used where
+// throughput matters; they return identical bands).
+func (s *Selector) Select(snrDB []float64) (modem.Band, bool) {
+	n0 := len(snrDB)
+	for l := n0; l >= 1; l-- {
+		gain := s.Lambda * 10 * math.Log10(float64(n0)/float64(l))
+		for m := 0; m+l <= n0; m++ {
+			ok := true
+			for k := m; k < m+l; k++ {
+				if snrDB[k]+gain <= s.ThresholdDB {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return modem.Band{Lo: m, Hi: m + l - 1}, true
+			}
+		}
+	}
+	return modem.Band{}, false
+}
+
+// SelectFast returns the same band as Select using a monotonic-deque
+// sliding-window minimum per length, O(N0) per candidate length
+// instead of O(N0^2). For each L it finds the window with the largest
+// minimum SNR and compares that to the threshold.
+func (s *Selector) SelectFast(snrDB []float64) (modem.Band, bool) {
+	n0 := len(snrDB)
+	if n0 == 0 {
+		return modem.Band{}, false
+	}
+	deque := make([]int, 0, n0) // indices with increasing SNR
+	for l := n0; l >= 1; l-- {
+		gain := s.Lambda * 10 * math.Log10(float64(n0)/float64(l))
+		need := s.ThresholdDB - gain
+		deque = deque[:0]
+		for i := 0; i < n0; i++ {
+			for len(deque) > 0 && snrDB[deque[len(deque)-1]] >= snrDB[i] {
+				deque = deque[:len(deque)-1]
+			}
+			deque = append(deque, i)
+			if deque[0] <= i-l {
+				deque = deque[1:]
+			}
+			if i >= l-1 && snrDB[deque[0]] > need {
+				// Leftmost qualifying window of this length: Select
+				// scans m in ascending order, so find the earliest m.
+				// The deque gives us *a* qualifying window ending at
+				// i; to match Select exactly, rescan from the start
+				// for this length (still O(n) amortized via two-pointer).
+				if m, ok := earliestWindow(snrDB, l, need); ok {
+					return modem.Band{Lo: m, Hi: m + l - 1}, true
+				}
+			}
+		}
+	}
+	return modem.Band{}, false
+}
+
+// earliestWindow finds the smallest m such that min(snr[m:m+l]) > need.
+func earliestWindow(snrDB []float64, l int, need float64) (int, bool) {
+	n := len(snrDB)
+	deque := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		for len(deque) > 0 && snrDB[deque[len(deque)-1]] >= snrDB[i] {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, i)
+		if deque[0] <= i-l {
+			deque = deque[1:]
+		}
+		if i >= l-1 && snrDB[deque[0]] > need {
+			return i - l + 1, true
+		}
+	}
+	return 0, false
+}
+
+// EffectiveSNR returns the post-reallocation SNR of subcarrier k when
+// the band has width l out of n0 total bins — the quantity Algorithm 1
+// thresholds.
+func (s *Selector) EffectiveSNR(snrK float64, l, n0 int) float64 {
+	return snrK + s.Lambda*10*math.Log10(float64(n0)/float64(l))
+}
+
+// BitrateBPS returns the information bit rate implied by a band under
+// the modem configuration and code rate: width * spacing * rate.
+// With 50 Hz spacing and the 2/3 code, a 19-bin band gives the
+// paper's 633.3 bps median.
+func BitrateBPS(b modem.Band, cfg modem.Config, codeRate float64) float64 {
+	return float64(b.Width()) * float64(cfg.SpacingHz) * codeRate
+}

@@ -1,0 +1,192 @@
+package app
+
+import (
+	"testing"
+
+	"aquago/internal/channel"
+	"aquago/internal/modem"
+	"aquago/internal/phy"
+)
+
+func TestCodebookSizeAndStructure(t *testing.T) {
+	msgs := Messages()
+	if len(msgs) != NumMessages {
+		t.Fatalf("codebook has %d messages, want %d", len(msgs), NumMessages)
+	}
+	// IDs are dense and ordered.
+	for i, m := range msgs {
+		if int(m.ID) != i {
+			t.Fatalf("message %d has ID %d", i, m.ID)
+		}
+		if m.Text == "" {
+			t.Fatalf("message %d has empty text", i)
+		}
+	}
+	// Eight categories with 30 messages each.
+	if len(Categories()) != 8 {
+		t.Fatal("want 8 categories")
+	}
+	for _, c := range Categories() {
+		if got := len(ByCategory(c)); got != MessagesPerCategory {
+			t.Fatalf("category %v has %d messages, want %d", c, got, MessagesPerCategory)
+		}
+		if c.String() == "unknown" {
+			t.Fatalf("category %d missing name", c)
+		}
+	}
+}
+
+func TestCodebookTextsUnique(t *testing.T) {
+	seen := map[string]uint8{}
+	for _, m := range Messages() {
+		if prev, dup := seen[m.Text]; dup {
+			t.Fatalf("duplicate text %q (IDs %d and %d)", m.Text, prev, m.ID)
+		}
+		seen[m.Text] = m.ID
+	}
+}
+
+func TestCommonMessages(t *testing.T) {
+	common := Common()
+	if len(common) != 20 {
+		t.Fatalf("%d common messages, want the paper's 20", len(common))
+	}
+	// The canonical diver signals must be present and common.
+	for _, text := range []string{"OK?", "Out of air", "Go up", "Emergency - surface now"} {
+		m, ok := ByText(text)
+		if !ok {
+			t.Fatalf("%q missing from codebook", text)
+		}
+		if !m.Common {
+			t.Fatalf("%q should be a common signal", text)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	if _, ok := ByID(239); !ok {
+		t.Fatal("ID 239 must exist")
+	}
+	if _, ok := ByID(240); ok {
+		t.Fatal("ID 240 must not exist")
+	}
+	if _, ok := ByText("No such message"); ok {
+		t.Fatal("unknown text matched")
+	}
+	hits := Search("air")
+	if len(hits) < 5 {
+		t.Fatalf("search 'air' found only %d messages", len(hits))
+	}
+	for _, m := range hits {
+		low := false
+		for i := 0; i+3 <= len(m.Text); i++ {
+			s := m.Text[i : i+3]
+			if s == "air" || s == "Air" || s == "AIR" {
+				low = true
+			}
+		}
+		if !low {
+			t.Fatalf("search hit %q does not contain 'air'", m.Text)
+		}
+	}
+}
+
+func TestPackPair(t *testing.T) {
+	p, err := PackPair(3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, ok2 := UnpackPair(p)
+	if a != 3 || b != 200 || !ok2 {
+		t.Fatalf("unpack (%d, %d, %v)", a, b, ok2)
+	}
+	// Single-message packet.
+	p, err = PackPair(7, NoMessage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, ok2 = UnpackPair(p)
+	if a != 7 || ok2 {
+		t.Fatal("single-message packet mis-unpacked")
+	}
+	if _, err := PackPair(240, 0); err == nil {
+		t.Fatal("out-of-range first ID accepted")
+	}
+	if _, err := PackPair(0, 241); err == nil {
+		t.Fatal("out-of-range second ID accepted")
+	}
+}
+
+func TestDecodePayload(t *testing.T) {
+	p, _ := PackPair(0, 31)
+	msgs, err := DecodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[0].ID != 0 || msgs[1].ID != 31 {
+		t.Fatalf("decoded %v", msgs)
+	}
+	if _, err := DecodePayload([2]byte{250, 0}); err == nil {
+		t.Fatal("garbage first ID accepted")
+	}
+}
+
+func TestMessengerEndToEnd(t *testing.T) {
+	m, err := modem.New(modem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := phy.New(m, phy.Options{})
+	med, err := phy.NewChannelMedium(channel.LinkParams{
+		Env: channel.Bridge, DistanceM: 5, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMessenger(proto, 4)
+	ok1, _ := ByText("OK?")
+	shark, _ := ByText("Look - shark")
+	res, err := ms.Send(med, 9, ok1.ID, shark.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatalf("message not delivered: %+v", res.Last)
+	}
+	if !res.Acknowledged {
+		t.Fatal("ACK not heard at 5 m bridge")
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("clean channel needed %d attempts", res.Attempts)
+	}
+}
+
+func TestMessengerRetriesOnDeadMedium(t *testing.T) {
+	m, err := modem.New(modem.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := phy.New(m, phy.Options{})
+	ms := NewMessenger(proto, 4)
+	ms.Retries = 2
+	res, err := ms.Send(deadMedium{}, 9, 0, NoMessage, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered || res.Acknowledged {
+		t.Fatal("dead medium cannot deliver")
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts %d, want 3 (1 + 2 retries)", res.Attempts)
+	}
+}
+
+// deadMedium absorbs everything.
+type deadMedium struct{}
+
+func (deadMedium) Forward(tx []float64, atS float64) []float64 {
+	return make([]float64, len(tx))
+}
+func (deadMedium) Backward(tx []float64, atS float64) []float64 {
+	return make([]float64, len(tx))
+}

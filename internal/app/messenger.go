@@ -1,0 +1,105 @@
+package app
+
+import (
+	"fmt"
+
+	"aquago/internal/phy"
+)
+
+// NoMessage is the payload filler when a packet carries one message
+// instead of two (any value >= NumMessages works; 0xFF is canonical).
+const NoMessage = 0xFF
+
+// PackPair packs one or two message IDs into a 16-bit packet payload
+// ("users can choose to send two hand signals in a single packet").
+func PackPair(first uint8, second uint8) ([2]byte, error) {
+	if int(first) >= NumMessages {
+		return [2]byte{}, fmt.Errorf("app: message ID %d out of range", first)
+	}
+	if int(second) >= NumMessages && second != NoMessage {
+		return [2]byte{}, fmt.Errorf("app: message ID %d out of range", second)
+	}
+	return [2]byte{first, second}, nil
+}
+
+// UnpackPair recovers the message IDs from a payload; ok2 reports
+// whether a second message is present.
+func UnpackPair(payload [2]byte) (first uint8, second uint8, ok2 bool) {
+	return payload[0], payload[1], int(payload[1]) < NumMessages
+}
+
+// Messenger sends codebook messages over the packet protocol with
+// retransmission on missing ACKs.
+type Messenger struct {
+	proto *phy.Protocol
+	// Retries is the extra attempt budget after the first try.
+	Retries int
+	// Src is this device's ID.
+	Src phy.DeviceID
+}
+
+// NewMessenger wraps a protocol instance.
+func NewMessenger(proto *phy.Protocol, src phy.DeviceID) *Messenger {
+	return &Messenger{proto: proto, Retries: 2, Src: src}
+}
+
+// SendResult describes a (possibly retried) message delivery.
+type SendResult struct {
+	// Attempts counts transmissions performed (1 = no retry needed).
+	Attempts int
+	// Delivered reports end-to-end success (payload decoded by Bob).
+	Delivered bool
+	// Acknowledged reports that the sender heard the ACK. A delivered
+	// but unacknowledged message triggers a wasteful retry — exactly
+	// the classic two-generals cost this field makes visible.
+	Acknowledged bool
+	// Last is the final attempt's protocol result.
+	Last phy.Result
+}
+
+// Send transmits one or two messages to dst over the medium, retrying
+// while no ACK is heard. atS advances with the retry traffic so the
+// channel keeps evolving.
+func (ms *Messenger) Send(med phy.Medium, dst phy.DeviceID, first, second uint8, atS float64) (SendResult, error) {
+	payload, err := PackPair(first, second)
+	if err != nil {
+		return SendResult{}, err
+	}
+	pkt := phy.Packet{Dst: dst, Src: ms.Src, Payload: payload}
+	var out SendResult
+	now := atS
+	for attempt := 0; attempt <= ms.Retries; attempt++ {
+		out.Attempts = attempt + 1
+		res, err := ms.proto.Exchange(med, pkt, now)
+		if err != nil {
+			return out, err
+		}
+		out.Last = res
+		out.Delivered = out.Delivered || res.Delivered
+		if res.ACKReceived {
+			out.Acknowledged = true
+			return out, nil
+		}
+		// Back off one packet airtime before retrying.
+		now += ms.proto.PacketAirtimeS(res.Band) + 0.25
+	}
+	return out, nil
+}
+
+// DecodePayload maps a received packet payload back to messages.
+func DecodePayload(payload [2]byte) ([]Message, error) {
+	first, second, ok2 := UnpackPair(payload)
+	m1, ok := ByID(first)
+	if !ok {
+		return nil, fmt.Errorf("app: unknown message ID %d", first)
+	}
+	msgs := []Message{m1}
+	if ok2 {
+		m2, ok := ByID(second)
+		if !ok {
+			return nil, fmt.Errorf("app: unknown message ID %d", second)
+		}
+		msgs = append(msgs, m2)
+	}
+	return msgs, nil
+}

@@ -1,0 +1,100 @@
+package audio
+
+import (
+	"errors"
+	"sync"
+)
+
+// Ring is a thread-safe ring buffer of audio samples, the hand-off
+// structure between a capture goroutine and the modem's continuous
+// preamble detector (which on the phone runs in real time against the
+// microphone stream).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []float64
+	start int // index of the oldest sample
+	size  int // samples currently stored
+	total int64
+}
+
+// NewRing allocates a ring holding up to capacity samples.
+func NewRing(capacity int) (*Ring, error) {
+	if capacity <= 0 {
+		return nil, errors.New("audio: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]float64, capacity)}, nil
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of buffered samples.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Total returns the count of samples ever written (stream position).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Write appends samples, overwriting the oldest data when full.
+func (r *Ring) Write(samples []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range samples {
+		idx := (r.start + r.size) % len(r.buf)
+		if r.size == len(r.buf) {
+			// Overwrite oldest.
+			r.buf[r.start] = s
+			r.start = (r.start + 1) % len(r.buf)
+		} else {
+			r.buf[idx] = s
+			r.size++
+		}
+	}
+	r.total += int64(len(samples))
+}
+
+// Read copies up to len(dst) of the oldest samples into dst and
+// consumes them, returning the count.
+func (r *Ring) Read(dst []float64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := min(len(dst), r.size)
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	r.start = (r.start + n) % len(r.buf)
+	r.size -= n
+	return n
+}
+
+// Peek copies up to len(dst) of the oldest samples without consuming
+// them.
+func (r *Ring) Peek(dst []float64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := min(len(dst), r.size)
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return n
+}
+
+// Discard drops up to n oldest samples, returning how many were
+// dropped (the detector advances past scanned audio this way).
+func (r *Ring) Discard(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.size {
+		n = r.size
+	}
+	r.start = (r.start + n) % len(r.buf)
+	r.size -= n
+	return n
+}

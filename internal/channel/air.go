@@ -1,0 +1,55 @@
+package channel
+
+import (
+	"math/rand"
+
+	"aquago/internal/dsp"
+)
+
+// AirLink models the in-air control condition of the paper's
+// reciprocity experiment (Fig 3c): a short direct path with mild,
+// *reciprocal* room reflections — the property the underwater channel
+// lacks. Only used by the characterization experiments.
+type AirLink struct {
+	h     []float64
+	conv  *dsp.OverlapAdd
+	noise *rand.Rand
+	amp   float64
+}
+
+// NewAirLink builds an in-air link at the given distance. Both
+// directions of the same seed produce the same response (reciprocity).
+func NewAirLink(distanceM float64, dev1, dev2 Device, sampleRate int, seed int64) *AirLink {
+	rng := rand.New(rand.NewSource(seed))
+	// Direct path plus a few weak early reflections.
+	n := int(0.01 * float64(sampleRate)) // 10 ms of response
+	h := make([]float64, n)
+	h[0] = 1
+	for r := 0; r < 4; r++ {
+		at := 1 + rng.Intn(n-1)
+		h[at] += (rng.Float64() - 0.5) * 0.2
+	}
+	// Device responses apply symmetrically so swapping devices leaves
+	// the composite unchanged — reciprocity by construction.
+	comp := dsp.Convolve(h, dev1.TxFilter(sampleRate).Taps)
+	comp = dsp.Convolve(comp, dev2.RxFilter(sampleRate).Taps)
+	comp = trimIR(comp)
+	// In-air spreading at short range.
+	amp := dsp.AmpFromDB(-SpreadingLossDB(distanceM)) // reuse practical spreading
+	dsp.Scale(comp, amp)
+	return &AirLink{h: comp, conv: dsp.NewOverlapAdd(comp), noise: rng, amp: amp}
+}
+
+// Transmit passes tx through the air channel with light noise.
+func (a *AirLink) Transmit(tx []float64) []float64 {
+	rx := a.conv.Apply(tx)
+	for i := range rx {
+		rx[i] += 1e-4 * a.noise.NormFloat64()
+	}
+	return rx
+}
+
+// ImpulseResponse returns a copy of the composite response.
+func (a *AirLink) ImpulseResponse() []float64 {
+	return append([]float64(nil), a.h...)
+}

@@ -1,0 +1,276 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aquago/internal/dsp"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestEnvironmentPresets(t *testing.T) {
+	envs := Environments()
+	if len(envs) != 6 {
+		t.Fatalf("want the paper's 6 sites, got %d", len(envs))
+	}
+	names := map[string]bool{}
+	for _, e := range envs {
+		if e.DepthM <= 0 || e.MaxRangeM <= 0 {
+			t.Errorf("%s: non-positive geometry", e.Name)
+		}
+		if e.SurfaceReflect >= 0 {
+			t.Errorf("%s: surface reflection must be negative (pressure release)", e.Name)
+		}
+		if e.BottomReflect <= 0 || e.BottomReflect >= 1 {
+			t.Errorf("%s: bottom reflection %g out of (0,1)", e.Name, e.BottomReflect)
+		}
+		names[e.Name] = true
+	}
+	// Paper-stated depths.
+	if Lake.DepthM != 5 || Museum.DepthM != 9 || Bay.DepthM != 15 {
+		t.Error("lake/museum/bay depths must be 5/9/15 m")
+	}
+	if Beach.MaxRangeM < 100 {
+		t.Error("beach must support the 100+ m range experiments")
+	}
+	// Bridge is the quiet reference; lake is the noisiest (9 dB spread
+	// per Fig 4b).
+	if Bridge.NoiseDB != 0 || Lake.NoiseDB != 9 {
+		t.Error("noise calibration: bridge 0 dB, lake 9 dB")
+	}
+	if _, ok := ByName("lake"); !ok {
+		t.Error("ByName(lake) failed")
+	}
+	if _, ok := ByName("atlantis"); ok {
+		t.Error("ByName should reject unknown sites")
+	}
+}
+
+func TestThorpAbsorption(t *testing.T) {
+	// Known shape: tiny at modem frequencies, growing with f^2.
+	a1 := ThorpAbsorptionDB(1000)
+	a4 := ThorpAbsorptionDB(4000)
+	a100 := ThorpAbsorptionDB(100000)
+	if a1 <= 0 || a4 <= a1 || a100 <= a4 {
+		t.Fatalf("absorption not increasing: %g %g %g", a1, a4, a100)
+	}
+	if a4 > 1 {
+		t.Fatalf("4 kHz absorption %g dB/km implausible (should be < 1)", a4)
+	}
+	// At 113 m and 4 kHz, absorption is negligible (< 0.1 dB) —
+	// the premise for treating the in-band response as delay+gain.
+	if loss := ThorpAbsorptionDB(4000) * 113 / 1000; loss > 0.1 {
+		t.Fatalf("in-band absorption over 113 m = %g dB", loss)
+	}
+}
+
+func TestSpreadingLoss(t *testing.T) {
+	if SpreadingLossDB(1) != 0 {
+		t.Error("reference distance 1 m should be 0 dB")
+	}
+	if math.Abs(SpreadingLossDB(10)-15) > 1e-9 {
+		t.Errorf("10 m practical spreading = %g, want 15 dB", SpreadingLossDB(10))
+	}
+	if SpreadingLossDB(0.5) != 0 {
+		t.Error("sub-meter distances clamp to the reference")
+	}
+}
+
+func TestImagePathsStructure(t *testing.T) {
+	g := Geometry{Env: Lake, DistanceM: 10, TxDepthM: 1, RxDepthM: 1}
+	paths := g.ImagePaths(3)
+	if len(paths) != 16 { // 4 families * 4 cycles
+		t.Fatalf("path count %d, want 16", len(paths))
+	}
+	direct := paths[0]
+	if math.Abs(direct.LengthM-10) > 1e-9 {
+		t.Fatalf("direct path length %g, want 10", direct.LengthM)
+	}
+	if direct.Surface != 0 || direct.Bottom != 0 {
+		t.Fatal("first path must be the direct one")
+	}
+	// The direct path must be the strongest; all paths weaker.
+	for i, p := range paths[1:] {
+		if math.Abs(p.Gain) > math.Abs(direct.Gain) {
+			t.Fatalf("path %d stronger than direct", i+1)
+		}
+		if p.LengthM < direct.LengthM {
+			t.Fatalf("path %d shorter than direct", i+1)
+		}
+	}
+	// Surface-only bounce flips sign (negative reflection coefficient).
+	for _, p := range paths {
+		if p.Surface == 1 && p.Bottom == 0 && p.Gain >= 0 {
+			t.Fatal("single surface bounce must invert phase")
+		}
+	}
+}
+
+func TestImpulseResponseDeterministic(t *testing.T) {
+	g := Geometry{Env: Lake, DistanceM: 5, TxDepthM: 1, RxDepthM: 1}
+	p := ImpulseResponseParams{SampleRate: 48000, Scatter: Lake.Scatter}
+	h1 := g.ImpulseResponse(p, newRand(7))
+	h2 := g.ImpulseResponse(p, newRand(7))
+	if len(h1) != len(h2) {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("same seed, different impulse responses")
+		}
+	}
+	h3 := g.ImpulseResponse(p, newRand(8))
+	same := true
+	for i := 0; i < min(len(h1), len(h3)); i++ {
+		if h1[i] != h3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical scatter tails")
+	}
+}
+
+func TestImpulseResponseFrequencySelective(t *testing.T) {
+	// Multipath must carve notches: the channel magnitude across
+	// 1-4 kHz should vary by >= 10 dB (paper: 10-20 dB within a few
+	// kHz).
+	g := Geometry{Env: Lake, DistanceM: 10, TxDepthM: 1, RxDepthM: 1}
+	h := g.ImpulseResponse(ImpulseResponseParams{SampleRate: 48000, Scatter: 0.5}, newRand(3))
+	spec := dsp.FFTReal(padTo(h, 4800))
+	var lo, hi = math.Inf(1), math.Inf(-1)
+	for bin := 100; bin < 400; bin++ { // 1-4 kHz at 10 Hz resolution
+		mag := math.Sqrt(dsp.CAbs2(spec[bin]))
+		lo = math.Min(lo, mag)
+		hi = math.Max(hi, mag)
+	}
+	rangeDB := dsp.AmpDB(hi / math.Max(lo, 1e-12))
+	if rangeDB < 10 {
+		t.Fatalf("frequency selectivity only %g dB, want >= 10", rangeDB)
+	}
+}
+
+func TestImpulseResponseScatterAddsDiffuseEnergy(t *testing.T) {
+	g := Geometry{Env: Lake, DistanceM: 10, TxDepthM: 1, RxDepthM: 1}
+	clean := g.ImpulseResponse(ImpulseResponseParams{SampleRate: 48000, Scatter: 0}, newRand(4))
+	rich := g.ImpulseResponse(ImpulseResponseParams{SampleRate: 48000, Scatter: 0.9}, newRand(4))
+	// Diffuse reverberation perturbs the response between the discrete
+	// arrivals: the difference signal must carry energy.
+	n := min(len(clean), len(rich))
+	var diffE float64
+	for i := 0; i < n; i++ {
+		d := rich[i] - clean[i]
+		diffE += d * d
+	}
+	if diffE <= 0 {
+		t.Fatalf("scatter added no diffuse component (diff energy %g)", diffE)
+	}
+}
+
+func padTo(x []float64, n int) []float64 {
+	if len(x) >= n {
+		return x[:n]
+	}
+	out := make([]float64, n)
+	copy(out, x)
+	return out
+}
+
+func TestDeviceResponsesBandlimitedAndDistinct(t *testing.T) {
+	for _, d := range Devices() {
+		f := d.TxFilter(48000)
+		mid := f.Gain(2000, 48000)
+		low := f.Gain(150, 48000)
+		high := f.Gain(8000, 48000)
+		if mid <= 0 {
+			t.Fatalf("%s: no passband gain", d.Name)
+		}
+		if low > mid/3 {
+			t.Errorf("%s: low-frequency leakage %g vs mid %g", d.Name, low, mid)
+		}
+		if high > mid/3 {
+			t.Errorf("%s: response above 4 kHz should diminish: %g vs %g", d.Name, high, mid)
+		}
+	}
+	// Distinct devices must have distinct notch structure (Fig 3a).
+	a := GalaxyS9.TxFilter(48000)
+	b := Pixel4.TxFilter(48000)
+	var diff float64
+	for _, f := range []float64{1200, 1800, 2400, 3000, 3600} {
+		diff += math.Abs(dsp.AmpDB(a.Gain(f, 48000)+1e-12) - dsp.AmpDB(b.Gain(f, 48000)+1e-12))
+	}
+	if diff < 3 {
+		t.Fatalf("device responses too similar: total |diff| %g dB", diff)
+	}
+	// Determinism: same device, same curve.
+	a2 := GalaxyS9.TxFilter(48000)
+	for i := range a.Taps {
+		if a.Taps[i] != a2.Taps[i] {
+			t.Fatal("device response not deterministic")
+		}
+	}
+	if _, ok := DeviceByName("galaxy-s9"); !ok {
+		t.Error("DeviceByName failed")
+	}
+	if _, ok := DeviceByName("nokia-3310"); ok {
+		t.Error("DeviceByName should reject unknown devices")
+	}
+}
+
+func TestWatchWeakerThanPhone(t *testing.T) {
+	if GalaxyWatch4.TxLevelDB >= GalaxyS9.TxLevelDB {
+		t.Fatal("watch should transmit at lower level than phone")
+	}
+}
+
+func TestCasingLoss(t *testing.T) {
+	for _, f := range []float64{1000, 2500, 4000} {
+		soft := CasingSoftPouch.GainDB(f)
+		hard := CasingHardCase.GainDB(f)
+		if hard >= soft {
+			t.Fatalf("hard case must lose more than soft pouch at %g Hz: %g vs %g", f, hard, soft)
+		}
+	}
+	// Hard case tilts against high frequencies.
+	if CasingHardCase.GainDB(4000) >= CasingHardCase.GainDB(1500) {
+		t.Fatal("hard case should attenuate high frequencies more")
+	}
+	if CasingNone.GainDB(2000) != 0 {
+		t.Fatal("no casing should be transparent")
+	}
+	for _, c := range []Casing{CasingNone, CasingSoftPouch, CasingHardCase, CasingSoftPouchAir} {
+		if c.String() == "unknown" {
+			t.Fatalf("casing %d missing name", c)
+		}
+	}
+}
+
+func TestNoiseCalibrationAndShape(t *testing.T) {
+	g := NewNoiseGen(Bridge, 48000, 11)
+	x := g.Generate(48000)
+	bp := dsp.DesignBandpass(1000, 4000, 48000, 128, dsp.Hamming)
+	inBand := dsp.RMS(bp.Filter(x)[256:])
+	if math.Abs(inBand-g.InBandRMS()) > 0.3*g.InBandRMS() {
+		t.Fatalf("in-band RMS %g, target %g", inBand, g.InBandRMS())
+	}
+	// Fig 4: noise is strongest below 1 kHz.
+	sp := dsp.WelchPSD(x, 2048, 48000, dsp.Hann)
+	lowDensity := sp.BandPower(100, 900) / 800
+	midDensity := sp.BandPower(1500, 3500) / 2000
+	if lowDensity < 2*midDensity {
+		t.Fatalf("low-frequency noise density %g not dominant over mid %g", lowDensity, midDensity)
+	}
+}
+
+func TestNoiseLevelsAcrossEnvironments(t *testing.T) {
+	bridge := NewNoiseGen(Bridge, 48000, 5)
+	lake := NewNoiseGen(Lake, 48000, 5)
+	// 9 dB difference per Fig 4b.
+	ratio := dsp.AmpDB(lake.InBandRMS() / bridge.InBandRMS())
+	if math.Abs(ratio-9) > 0.5 {
+		t.Fatalf("lake vs bridge noise = %g dB, want 9", ratio)
+	}
+}

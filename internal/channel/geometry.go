@@ -1,0 +1,191 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+
+	"aquago/internal/dsp"
+)
+
+// Path is one propagation path between transmitter and receiver.
+type Path struct {
+	// LengthM is the geometric path length in meters.
+	LengthM float64
+	// DelayS is the propagation delay in seconds.
+	DelayS float64
+	// Gain is the (possibly negative) amplitude coefficient after
+	// spreading loss, absorption at band center, and boundary
+	// reflection losses.
+	Gain float64
+	// Surface and Bottom count boundary interactions.
+	Surface, Bottom int
+}
+
+// Geometry positions one link inside an environment.
+type Geometry struct {
+	Env Environment
+	// DistanceM is the horizontal transmitter-receiver distance.
+	DistanceM float64
+	// TxDepthM and RxDepthM are device depths below the surface.
+	TxDepthM, RxDepthM float64
+}
+
+// ImagePaths enumerates multipath arrivals with the image method for
+// a shallow-water waveguide bounded by the pressure-release surface
+// and a lossy bottom. maxOrder bounds the number of boundary-bounce
+// cycles (4 path families per cycle, as in Jensen et al.,
+// Computational Ocean Acoustics §3).
+func (g Geometry) ImagePaths(maxOrder int) []Path {
+	d := g.Env.DepthM
+	zs, zr := g.TxDepthM, g.RxDepthM
+	r := g.DistanceM
+	rs, rb := g.Env.SurfaceReflect, g.Env.BottomReflect
+	var paths []Path
+	add := func(z float64, nSurf, nBot int) {
+		l := math.Hypot(r, z)
+		if l < 0.1 {
+			l = 0.1
+		}
+		gain := math.Pow(math.Abs(rs), float64(nSurf)) * math.Pow(rb, float64(nBot))
+		if nSurf%2 == 1 && rs < 0 {
+			gain = -gain
+		}
+		// Practical spreading (15 log10) on amplitude plus Thorp
+		// absorption at the 2.5 kHz band center.
+		gain *= dsp.AmpFromDB(-PathLossDB(l, 2500))
+		paths = append(paths, Path{
+			LengthM: l,
+			DelayS:  l / SoundSpeed,
+			Gain:    gain,
+			Surface: nSurf,
+			Bottom:  nBot,
+		})
+	}
+	for n := 0; n <= maxOrder; n++ {
+		dn := 2 * float64(n) * d
+		// The four image families of cycle n.
+		add(dn+(zr-zs), n, n)
+		add(dn+(zr+zs), n+1, n)
+		add(2*float64(n+1)*d-(zr+zs), n, n+1)
+		add(2*float64(n+1)*d-(zr-zs), n+1, n+1)
+	}
+	return paths
+}
+
+// ImpulseResponseParams tunes discrete impulse response synthesis.
+type ImpulseResponseParams struct {
+	SampleRate int
+	// MaxOrder is the image-method bounce limit (default 5).
+	MaxOrder int
+	// Scatter in [0,1] adds a diffuse exponentially-decaying
+	// reverberation tail (pilings, hulls, fish).
+	Scatter float64
+	// ScatterDecayS is the reverb time constant (default 3 ms,
+	// RT60 ~ 20 ms — typical for shallow fresh water).
+	ScatterDecayS float64
+	// MinGain prunes paths weaker than MinGain times the strongest.
+	MinGain float64
+}
+
+// ImpulseResponse synthesizes the channel impulse response at the
+// given sample rate. The bulk propagation delay of the earliest
+// arrival is removed (kept in Path data and the link's Delay); tap 0
+// is the first arrival. Fractional delays use 8-tap windowed-sinc
+// interpolation so the spectral notches land at physically-correct
+// frequencies rather than being quantized to the sample grid.
+func (g Geometry) ImpulseResponse(p ImpulseResponseParams, rng *rand.Rand) []float64 {
+	if p.MaxOrder <= 0 {
+		p.MaxOrder = 5
+	}
+	if p.ScatterDecayS == 0 {
+		p.ScatterDecayS = 0.003
+	}
+	if p.MinGain == 0 {
+		p.MinGain = 1e-3
+	}
+	paths := g.ImagePaths(p.MaxOrder)
+	if len(paths) == 0 {
+		return []float64{1}
+	}
+	minDelay := paths[0].DelayS
+	maxDelay := paths[0].DelayS
+	maxGain := 0.0
+	for _, pt := range paths {
+		minDelay = math.Min(minDelay, pt.DelayS)
+		maxDelay = math.Max(maxDelay, pt.DelayS)
+		maxGain = math.Max(maxGain, math.Abs(pt.Gain))
+	}
+	fs := float64(p.SampleRate)
+	spread := maxDelay - minDelay
+	n := int(spread*fs) + 64
+	if p.Scatter > 0 {
+		n += int(4 * p.ScatterDecayS * fs)
+	}
+	h := make([]float64, n)
+	const sincHalf = 8
+	for _, pt := range paths {
+		if math.Abs(pt.Gain) < p.MinGain*maxGain {
+			continue
+		}
+		gain := pt.Gain
+		delayS := pt.DelayS
+		// Surface roughness: a wavy air-water interface scatters each
+		// surface bounce slightly (amplitude and path length), so the
+		// idealized image comb never cancels perfectly — without this
+		// a symmetric mid-column geometry produces unphysically deep
+		// deterministic notches.
+		if pt.Surface > 0 && rng != nil {
+			rough := float64(pt.Surface)
+			gain *= 1 + 0.12*rough*rng.NormFloat64()
+			delayS += 0.01 * rough * rng.NormFloat64() / SoundSpeed // ~1 cm per bounce
+		}
+		pos := (delayS - minDelay) * fs
+		if pos < 0 {
+			pos = 0
+		}
+		center := int(math.Floor(pos))
+		frac := pos - float64(center)
+		for i := -sincHalf + 1; i <= sincHalf; i++ {
+			idx := center + i
+			if idx < 0 || idx >= n {
+				continue
+			}
+			x := float64(i) - frac
+			w := 0.5 + 0.5*math.Cos(math.Pi*x/float64(sincHalf)) // Hann
+			h[idx] += gain * sinc(x) * w
+		}
+	}
+	// Diffuse scatter tail: white sequence with exponential decay,
+	// power proportional to Scatter^2 relative to the strongest path.
+	if p.Scatter > 0 && rng != nil {
+		tail := int(4 * p.ScatterDecayS * fs)
+		amp := 0.12 * p.Scatter * maxGain
+		// Tail starts right after the first arrival cluster.
+		start := 16
+		for i := 0; i < tail && start+i < n; i++ {
+			decay := math.Exp(-float64(i) / (p.ScatterDecayS * fs))
+			h[start+i] += amp * decay * rng.NormFloat64() * 0.3
+		}
+	}
+	// Trim trailing near-zeros.
+	last := len(h) - 1
+	for last > 0 && math.Abs(h[last]) < 1e-9*maxGain {
+		last--
+	}
+	return h[:last+1]
+}
+
+func sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// DirectDelayS returns the first-arrival propagation delay for the
+// geometry (used by the medium simulator for absolute timing).
+func (g Geometry) DirectDelayS() float64 {
+	z := g.RxDepthM - g.TxDepthM
+	return math.Hypot(g.DistanceM, z) / SoundSpeed
+}

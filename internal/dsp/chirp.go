@@ -1,0 +1,46 @@
+package dsp
+
+import "math"
+
+// Chirp generates a linear frequency-modulated (LFM) sweep from f0 to
+// f1 Hz over dur seconds at the given sample rate, with unit amplitude.
+// The paper's channel-sounding experiments use 1-5 kHz and 1-3 kHz
+// chirps of 0.5-1 s.
+func Chirp(f0, f1, dur, sampleRate float64) []float64 {
+	n := int(dur * sampleRate)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	k := (f1 - f0) / dur // sweep rate Hz/s
+	for i := 0; i < n; i++ {
+		t := float64(i) / sampleRate
+		phase := 2 * math.Pi * (f0*t + 0.5*k*t*t)
+		out[i] = math.Sin(phase)
+	}
+	return out
+}
+
+// Tone generates a pure sinusoid at freq Hz for dur seconds.
+func Tone(freq, dur, sampleRate float64) []float64 {
+	n := int(dur * sampleRate)
+	out := make([]float64, n)
+	w := 2 * math.Pi * freq / sampleRate
+	for i := range out {
+		out[i] = math.Sin(w * float64(i))
+	}
+	return out
+}
+
+// ToneN generates n samples of a pure sinusoid at freq Hz.
+func ToneN(freq float64, n int, sampleRate float64) []float64 {
+	out := make([]float64, n)
+	w := 2 * math.Pi * freq / sampleRate
+	for i := range out {
+		out[i] = math.Sin(w * float64(i))
+	}
+	return out
+}
+
+// Silence returns n zero samples.
+func Silence(n int) []float64 { return make([]float64, n) }

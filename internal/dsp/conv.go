@@ -1,0 +1,126 @@
+package dsp
+
+// Convolve returns the full linear convolution of a and b
+// (length len(a)+len(b)-1). Small workloads use the direct O(n*m)
+// algorithm; larger ones switch to FFT overlap-free convolution.
+// Empty inputs yield an empty result.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	// Heuristic crossover: direct wins below ~64 taps on either side.
+	if len(a) < 64 || len(b) < 64 {
+		return convolveDirect(a, b)
+	}
+	return convolveFFT(a, b)
+}
+
+func convolveDirect(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+func convolveFFT(a, b []float64) []float64 {
+	n := len(a) + len(b) - 1
+	m := NextPow2(n)
+	p := NewPlan(m)
+	fa := make([]complex128, m)
+	fb := make([]complex128, m)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	p.Forward(fa, fa)
+	p.Forward(fb, fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.Inverse(fa, fa)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+// OverlapAdd is a reusable fast convolver for one fixed FIR kernel
+// applied to arbitrarily long signals, using the overlap-add method.
+// It exists because the channel simulator convolves hundreds of long
+// waveforms with the same few-hundred-tap impulse response.
+type OverlapAdd struct {
+	kernel  []float64
+	block   int // input block length per segment
+	fftSize int
+	plan    *Plan
+	kfft    []complex128
+	seg     []complex128
+}
+
+// NewOverlapAdd prepares an overlap-add convolver for the kernel.
+func NewOverlapAdd(kernel []float64) *OverlapAdd {
+	nk := len(kernel)
+	if nk == 0 {
+		panic("dsp: empty overlap-add kernel")
+	}
+	// Pick an FFT size ~8x the kernel for good efficiency.
+	fftSize := NextPow2(8 * nk)
+	if fftSize < 256 {
+		fftSize = 256
+	}
+	block := fftSize - nk + 1
+	oa := &OverlapAdd{
+		kernel:  append([]float64(nil), kernel...),
+		block:   block,
+		fftSize: fftSize,
+		plan:    NewPlan(fftSize),
+		kfft:    make([]complex128, fftSize),
+		seg:     make([]complex128, fftSize),
+	}
+	for i, v := range kernel {
+		oa.kfft[i] = complex(v, 0)
+	}
+	oa.plan.Forward(oa.kfft, oa.kfft)
+	return oa
+}
+
+// KernelLen returns the kernel length.
+func (oa *OverlapAdd) KernelLen() int { return len(oa.kernel) }
+
+// Apply returns the full convolution of x with the kernel
+// (length len(x)+len(kernel)-1).
+func (oa *OverlapAdd) Apply(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	out := make([]float64, len(x)+len(oa.kernel)-1)
+	for start := 0; start < len(x); start += oa.block {
+		end := min(start+oa.block, len(x))
+		chunk := x[start:end]
+		for i := range oa.seg {
+			oa.seg[i] = 0
+		}
+		for i, v := range chunk {
+			oa.seg[i] = complex(v, 0)
+		}
+		oa.plan.Forward(oa.seg, oa.seg)
+		for i := range oa.seg {
+			oa.seg[i] *= oa.kfft[i]
+		}
+		oa.plan.Inverse(oa.seg, oa.seg)
+		limit := len(chunk) + len(oa.kernel) - 1
+		for i := 0; i < limit && start+i < len(out); i++ {
+			out[start+i] += real(oa.seg[i])
+		}
+	}
+	return out
+}

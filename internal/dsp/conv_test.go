@@ -1,0 +1,207 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randReal(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if e := math.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestConvolveMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// Sizes straddling the FFT crossover.
+	cases := [][2]int{{1, 1}, {5, 3}, {63, 64}, {64, 64}, {100, 200}, {500, 129}, {1000, 480}}
+	for _, c := range cases {
+		a := randReal(c[0], rng)
+		b := randReal(c[1], rng)
+		want := convolveDirect(a, b)
+		got := Convolve(a, b)
+		if len(got) != len(want) {
+			t.Fatalf("size %v: got len %d want %d", c, len(got), len(want))
+		}
+		if e := maxAbsDiff(got, want); e > 1e-8 {
+			t.Errorf("size %v: max err %g", c, e)
+		}
+	}
+}
+
+func TestConvolveCommutativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(na, nb uint8) bool {
+		a := randReal(int(na%200)+1, rng)
+		b := randReal(int(nb%200)+1, rng)
+		ab := Convolve(a, b)
+		ba := Convolve(b, a)
+		return maxAbsDiff(ab, ba) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := randReal(300, rng)
+	got := Convolve(x, []float64{1})
+	if maxAbsDiff(got, x) > 1e-12 {
+		t.Fatal("convolution with unit impulse is not identity")
+	}
+	// Delayed impulse shifts the signal.
+	delayed := Convolve(x, []float64{0, 0, 1})
+	for i := range x {
+		if math.Abs(delayed[i+2]-x[i]) > 1e-12 {
+			t.Fatal("convolution with delayed impulse does not shift")
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if Convolve(nil, []float64{1}) != nil {
+		t.Fatal("nil input should give nil output")
+	}
+	if Convolve([]float64{1}, nil) != nil {
+		t.Fatal("nil kernel should give nil output")
+	}
+}
+
+func TestOverlapAddMatchesConvolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, nk := range []int{1, 5, 67, 128, 480} {
+		kernel := randReal(nk, rng)
+		oa := NewOverlapAdd(kernel)
+		for _, nx := range []int{1, 100, 1000, 5000} {
+			x := randReal(nx, rng)
+			want := Convolve(x, kernel)
+			got := oa.Apply(x)
+			if len(got) != len(want) {
+				t.Fatalf("nk=%d nx=%d: len %d want %d", nk, nx, len(got), len(want))
+			}
+			if e := maxAbsDiff(got, want); e > 1e-7 {
+				t.Errorf("nk=%d nx=%d: max err %g", nk, nx, e)
+			}
+		}
+	}
+}
+
+func TestOverlapAddReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	kernel := randReal(100, rng)
+	oa := NewOverlapAdd(kernel)
+	x1 := randReal(777, rng)
+	x2 := randReal(333, rng)
+	got1a := oa.Apply(x1)
+	_ = oa.Apply(x2)
+	got1b := oa.Apply(x1)
+	if maxAbsDiff(got1a, got1b) > 1e-12 {
+		t.Fatal("OverlapAdd is not stateless across Apply calls")
+	}
+}
+
+func TestCrossCorrelateFindsTemplate(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	tmpl := randReal(200, rng)
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = 0.1 * rng.NormFloat64()
+	}
+	const at = 431
+	for i, v := range tmpl {
+		x[at+i] += v
+	}
+	corr := NormalizedCrossCorrelate(x, tmpl)
+	peak := ArgMax(corr)
+	if peak != at {
+		t.Fatalf("correlation peak at %d, want %d", peak, at)
+	}
+	if corr[peak] < 0.9 {
+		t.Fatalf("normalized peak %g, want > 0.9", corr[peak])
+	}
+}
+
+func TestNormalizedCrossCorrelateRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	x := randReal(2000, rng)
+	tmpl := randReal(100, rng)
+	corr := NormalizedCrossCorrelate(x, tmpl)
+	for i, v := range corr {
+		if v > 1.0000001 || v < -1.0000001 {
+			t.Fatalf("normalized correlation out of range at %d: %g", i, v)
+		}
+	}
+}
+
+func TestCrossCorrelateAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Force the FFT path (template >= 128, signal >= 512) and check
+	// against the direct path.
+	x := randReal(2048, rng)
+	tmpl := randReal(256, rng)
+	got := CrossCorrelate(x, tmpl)
+	for k := 0; k < len(got); k += 97 {
+		want := Dot(x[k:], tmpl)
+		if math.Abs(got[k]-want) > 1e-7 {
+			t.Fatalf("lag %d: got %g want %g", k, got[k], want)
+		}
+	}
+}
+
+func TestSegmentCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	a := randReal(128, rng)
+	if c := SegmentCorrelation(a, a); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("self correlation %g, want 1", c)
+	}
+	neg := make([]float64, len(a))
+	for i := range a {
+		neg[i] = -a[i]
+	}
+	if c := SegmentCorrelation(a, neg); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("anti correlation %g, want -1", c)
+	}
+	if c := SegmentCorrelation(a, make([]float64, len(a))); c != 0 {
+		t.Fatalf("zero-energy correlation %g, want 0", c)
+	}
+}
+
+func TestAutoCorrelationBasics(t *testing.T) {
+	x := []float64{1, 1, 1, 1}
+	r := AutoCorrelation(x, 3)
+	// Biased estimator: r[k] = (4-k)/4.
+	want := []float64{1, 0.75, 0.5, 0.25}
+	if maxAbsDiff(r, want) > 1e-12 {
+		t.Fatalf("autocorrelation %v, want %v", r, want)
+	}
+	if AutoCorrelation(nil, 3) != nil {
+		t.Fatal("empty input should give nil")
+	}
+}
+
+func BenchmarkOverlapAdd480TapChannel(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	kernel := randReal(480, rng)
+	x := randReal(48000, rng) // one second of audio at 48 kHz
+	oa := NewOverlapAdd(kernel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oa.Apply(x)
+	}
+}

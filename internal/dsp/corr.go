@@ -1,0 +1,101 @@
+package dsp
+
+import "math"
+
+// CrossCorrelate returns the sliding cross-correlation of signal x
+// with template t:
+//
+//	out[k] = sum_j x[k+j] * t[j],  k = 0 .. len(x)-len(t)
+//
+// i.e. "valid" lags only. It switches to an FFT implementation for
+// large products. The modem's coarse preamble detector is built on
+// this.
+func CrossCorrelate(x, t []float64) []float64 {
+	if len(t) == 0 || len(x) < len(t) {
+		return nil
+	}
+	nOut := len(x) - len(t) + 1
+	if len(t) < 128 || len(x) < 512 {
+		out := make([]float64, nOut)
+		for k := 0; k < nOut; k++ {
+			out[k] = Dot(x[k:], t)
+		}
+		return out
+	}
+	// Correlation = convolution with the reversed template.
+	rev := make([]float64, len(t))
+	for i, v := range t {
+		rev[len(t)-1-i] = v
+	}
+	full := Convolve(x, rev)
+	out := make([]float64, nOut)
+	copy(out, full[len(t)-1:])
+	return out
+}
+
+// NormalizedCrossCorrelate returns the cross-correlation of x with t
+// where each lag is normalized by sqrt(E_window * E_template), yielding
+// values in [-1, 1]. Windows with zero energy produce 0.
+func NormalizedCrossCorrelate(x, t []float64) []float64 {
+	raw := CrossCorrelate(x, t)
+	if raw == nil {
+		return nil
+	}
+	et := Energy(t)
+	if et == 0 {
+		return make([]float64, len(raw))
+	}
+	// Running window energy of x.
+	var we float64
+	for _, v := range x[:len(t)] {
+		we += v * v
+	}
+	out := make([]float64, len(raw))
+	for k := range raw {
+		if we > 0 {
+			out[k] = raw[k] / math.Sqrt(we*et)
+		}
+		if k+len(t) < len(x) {
+			we += x[k+len(t)]*x[k+len(t)] - x[k]*x[k]
+			if we < 0 {
+				we = 0 // numeric drift guard
+			}
+		}
+	}
+	return out
+}
+
+// AutoCorrelation returns the biased autocorrelation r[0..maxLag] of x:
+// r[k] = (1/N) sum_n x[n] x[n+k]. The MMSE equalizer builds its
+// Toeplitz system from this.
+func AutoCorrelation(x []float64, maxLag int) []float64 {
+	if maxLag >= len(x) {
+		maxLag = len(x) - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	out := make([]float64, maxLag+1)
+	n := float64(len(x))
+	for k := 0; k <= maxLag; k++ {
+		var s float64
+		for i := 0; i+k < len(x); i++ {
+			s += x[i] * x[i+k]
+		}
+		out[k] = s / n
+	}
+	return out
+}
+
+// SegmentCorrelation computes the normalized correlation between two
+// equal-length real segments: <a,b> / sqrt(<a,a><b,b>). Returns 0 if
+// either segment has no energy. The paper's sliding-correlation
+// preamble metric correlates adjacent PN-designed OFDM segments with
+// this primitive.
+func SegmentCorrelation(a, b []float64) float64 {
+	ea, eb := Energy(a), Energy(b)
+	if ea == 0 || eb == 0 {
+		return 0
+	}
+	return Dot(a, b) / math.Sqrt(ea*eb)
+}

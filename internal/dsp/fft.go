@@ -1,0 +1,336 @@
+// Package dsp provides the signal-processing substrate used by the
+// aquago underwater modem: fast Fourier transforms, FIR filter design,
+// fast convolution and correlation, tone detection, Toeplitz solvers,
+// resampling and spectral statistics.
+//
+// Everything is implemented from scratch on the standard library. All
+// transforms operate on complex128/float64 slices; none of the
+// functions retain references to their arguments.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan holds the precomputed state (factorization, twiddle factors and
+// scratch space) for transforms of one fixed size. A Plan is cheap to
+// reuse and amortizes all trigonometric work across calls.
+//
+// A Plan is NOT safe for concurrent use; each goroutine should own its
+// plan (see NewPlan). The zero value is not usable.
+type Plan struct {
+	n       int
+	factors []int        // prime factors of n in ascending order
+	tw      []complex128 // tw[j] = exp(-2*pi*i*j/n)
+	scratch []complex128 // combine scratch, length n
+	dft     []complex128 // small-DFT scratch (max factor wide)
+
+	// Bluestein state, allocated only when n has a factor > 5.
+	blu *bluestein
+}
+
+// NewPlan returns a transform plan for size n. Sizes whose prime
+// factors are all in {2,3,5} (this covers the modem's 960, 1920 and
+// 4800-point symbols) use a mixed-radix Cooley-Tukey decomposition;
+// any other size transparently falls back to Bluestein's chirp-z
+// algorithm. NewPlan panics if n < 1.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("dsp: invalid FFT size %d", n))
+	}
+	p := &Plan{n: n}
+	p.factors = factorize(n)
+	maxf := 1
+	for _, f := range p.factors {
+		if f > maxf {
+			maxf = f
+		}
+	}
+	if maxf > 5 {
+		p.blu = newBluestein(n)
+		return p
+	}
+	p.tw = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+		p.tw[j] = complex(c, s)
+	}
+	p.scratch = make([]complex128, n)
+	p.dft = make([]complex128, maxf)
+	return p
+}
+
+// Size returns the transform length the plan was built for.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the unnormalized forward DFT of src into dst.
+// dst and src must both have length Size(); they may alias.
+func (p *Plan) Forward(dst, src []complex128) {
+	p.checkLen(dst, src)
+	if p.blu != nil {
+		p.blu.transform(dst, src, false)
+		return
+	}
+	if &dst[0] == &src[0] {
+		tmp := make([]complex128, p.n)
+		copy(tmp, src)
+		src = tmp
+	}
+	p.recurse(dst, src, p.n, 1, 0, false)
+}
+
+// Inverse computes the inverse DFT of src into dst, normalized by 1/n
+// so that Inverse(Forward(x)) == x. dst and src may alias.
+func (p *Plan) Inverse(dst, src []complex128) {
+	p.checkLen(dst, src)
+	if p.blu != nil {
+		p.blu.transform(dst, src, true)
+		scale := complex(1/float64(p.n), 0)
+		for i := range dst {
+			dst[i] *= scale
+		}
+		return
+	}
+	if &dst[0] == &src[0] {
+		tmp := make([]complex128, p.n)
+		copy(tmp, src)
+		src = tmp
+	}
+	p.recurse(dst, src, p.n, 1, 0, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range dst {
+		dst[i] *= scale
+	}
+}
+
+func (p *Plan) checkLen(dst, src []complex128) {
+	if len(dst) != p.n || len(src) != p.n {
+		panic(fmt.Sprintf("dsp: plan size %d, got dst %d src %d", p.n, len(dst), len(src)))
+	}
+}
+
+// recurse performs a decimation-in-time step: the length-n transform
+// at the given stride of src is written contiguously into dst.
+// factIdx indexes the next factor to peel off.
+func (p *Plan) recurse(dst, src []complex128, n, stride, factIdx int, inverse bool) {
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	r := p.factors[factIdx] // radix for this stage
+	m := n / r
+	// Transform the r decimated subsequences.
+	for q := 0; q < r; q++ {
+		p.recurse(dst[q*m:(q+1)*m], src[q*stride:], m, stride*r, factIdx+1, inverse)
+	}
+	// Combine: X[k1 + m*k2] = sum_q W_n^(k1*q) * W_r^(k2*q) * Y_q[k1].
+	twStep := p.n / n
+	out := p.scratch[:n]
+	z := p.dft[:r]
+	for k1 := 0; k1 < m; k1++ {
+		for q := 0; q < r; q++ {
+			idx := (k1 * q * twStep) % p.n
+			w := p.tw[idx]
+			if inverse {
+				w = complex(real(w), -imag(w))
+			}
+			z[q] = dst[q*m+k1] * w
+		}
+		switch r {
+		case 2:
+			out[k1] = z[0] + z[1]
+			out[k1+m] = z[0] - z[1]
+		case 3:
+			dft3(out, z, k1, m, inverse)
+		case 5:
+			dft5(out, z, k1, m, inverse)
+		default:
+			p.dftGeneric(out, z, k1, m, r, n, inverse)
+		}
+	}
+	copy(dst[:n], out)
+}
+
+// dft3 writes the 3-point DFT of z into out[k1], out[k1+m], out[k1+2m].
+func dft3(out, z []complex128, k1, m int, inverse bool) {
+	const s3 = 0.8660254037844386 // sin(pi/3)
+	t1 := z[1] + z[2]
+	t2 := z[0] - t1*complex(0.5, 0)
+	t3 := (z[1] - z[2]) * complex(0, -s3)
+	if inverse {
+		t3 = -t3
+	}
+	out[k1] = z[0] + t1
+	out[k1+m] = t2 + t3
+	out[k1+2*m] = t2 - t3
+}
+
+// dft5 writes the 5-point DFT of z into out[k1+q*m] for q=0..4 using
+// the Winograd-style decomposition.
+func dft5(out, z []complex128, k1, m int, inverse bool) {
+	const (
+		c1 = 0.30901699437494745  // cos(2pi/5)
+		c2 = -0.8090169943749475  // cos(4pi/5)
+		s1 = 0.9510565162951535   // sin(2pi/5)
+		s2 = 0.5877852522924731   // sin(4pi/5)
+	)
+	sa, sb := s1, s2
+	if inverse {
+		sa, sb = -sa, -sb
+	}
+	t1 := z[1] + z[4]
+	t2 := z[2] + z[3]
+	t3 := z[1] - z[4]
+	t4 := z[2] - z[3]
+	out[k1] = z[0] + t1 + t2
+	a1 := z[0] + t1*complex(c1, 0) + t2*complex(c2, 0)
+	a2 := z[0] + t1*complex(c2, 0) + t2*complex(c1, 0)
+	b1 := t3*complex(0, -sa) + t4*complex(0, -sb)
+	b2 := t3*complex(0, -sb) - t4*complex(0, -sa)
+	out[k1+m] = a1 + b1
+	out[k1+2*m] = a2 + b2
+	out[k1+3*m] = a2 - b2
+	out[k1+4*m] = a1 - b1
+}
+
+// dftGeneric is the O(r^2) fallback for radices other than 2/3/5.
+// It is only reachable when factorize admits larger primes, which the
+// current implementation routes to Bluestein instead; it is kept so the
+// combine step stays correct if the factor policy ever changes.
+func (p *Plan) dftGeneric(out, z []complex128, k1, m, r, n int, inverse bool) {
+	twStep := p.n / r
+	for k2 := 0; k2 < r; k2++ {
+		var acc complex128
+		for q := 0; q < r; q++ {
+			idx := (k2 * q * twStep) % p.n
+			w := p.tw[idx]
+			if inverse {
+				w = complex(real(w), -imag(w))
+			}
+			acc += z[q] * w
+		}
+		out[k1+k2*m] = acc
+	}
+}
+
+// factorize returns the prime factorization of n in ascending order.
+func factorize(n int) []int {
+	var f []int
+	for _, p := range []int{2, 3, 5} {
+		for n%p == 0 {
+			f = append(f, p)
+			n /= p
+		}
+	}
+	for d := 7; d*d <= n; d += 2 {
+		for n%d == 0 {
+			f = append(f, d)
+			n /= d
+		}
+	}
+	if n > 1 {
+		f = append(f, n)
+	}
+	return f
+}
+
+// bluestein implements the chirp-z transform: an arbitrary-length DFT
+// expressed as a convolution, evaluated with a power-of-two FFT.
+type bluestein struct {
+	n    int
+	m    int // power-of-two convolution size >= 2n-1
+	sub  *Plan
+	w    []complex128 // chirp exp(-i*pi*k^2/n)
+	bfft []complex128 // forward FFT of the chirp kernel
+	a    []complex128
+	b    []complex128
+}
+
+func newBluestein(n int) *bluestein {
+	m := 1 << uint(bits.Len(uint(2*n-1)))
+	bs := &bluestein{n: n, m: m, sub: NewPlan(m)}
+	bs.w = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for large n; reduce mod 2n first.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		s, c := math.Sincos(-math.Pi * float64(kk) / float64(n))
+		bs.w[k] = complex(c, s)
+	}
+	kernel := make([]complex128, m)
+	kernel[0] = complex(1, 0)
+	for k := 1; k < n; k++ {
+		conj := complex(real(bs.w[k]), -imag(bs.w[k]))
+		kernel[k] = conj
+		kernel[m-k] = conj
+	}
+	bs.bfft = make([]complex128, m)
+	bs.sub.Forward(bs.bfft, kernel)
+	bs.a = make([]complex128, m)
+	bs.b = make([]complex128, m)
+	return bs
+}
+
+func (bs *bluestein) transform(dst, src []complex128, inverse bool) {
+	n, m := bs.n, bs.m
+	for i := range bs.a {
+		bs.a[i] = 0
+	}
+	for k := 0; k < n; k++ {
+		w := bs.w[k]
+		x := src[k]
+		if inverse {
+			// Inverse DFT of x == conj(forward DFT of conj(x)).
+			x = complex(real(x), -imag(x))
+		}
+		bs.a[k] = x * w
+	}
+	bs.sub.Forward(bs.b, bs.a)
+	for i := 0; i < m; i++ {
+		bs.b[i] *= bs.bfft[i]
+	}
+	bs.sub.Inverse(bs.a, bs.b)
+	for k := 0; k < n; k++ {
+		v := bs.a[k] * bs.w[k]
+		if inverse {
+			v = complex(real(v), -imag(v))
+		}
+		dst[k] = v
+	}
+}
+
+// FFT returns the forward DFT of x as a new slice. For repeated
+// transforms of the same size prefer NewPlan.
+func FFT(x []complex128) []complex128 {
+	p := NewPlan(len(x))
+	out := make([]complex128, len(x))
+	p.Forward(out, x)
+	return out
+}
+
+// IFFT returns the normalized inverse DFT of x as a new slice.
+func IFFT(x []complex128) []complex128 {
+	p := NewPlan(len(x))
+	out := make([]complex128, len(x))
+	p.Inverse(out, x)
+	return out
+}
+
+// FFTReal transforms a real signal, returning the full complex
+// spectrum (length len(x)).
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// NextPow2 returns the smallest power of two >= n (and 1 for n <= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}

@@ -1,0 +1,106 @@
+package dsp
+
+// STFT computes a short-time Fourier transform magnitude matrix:
+// frames of winLen samples, hop samples apart, windowed and
+// transformed; the result is out[frame][bin] with winLen/2+1 one-sided
+// bins. Used by the aquascope packet inspector to visualize received
+// audio.
+func STFT(x []float64, winLen, hop int, w Window) [][]float64 {
+	if winLen < 2 || hop < 1 || len(x) < winLen {
+		return nil
+	}
+	win := w.Coefficients(winLen)
+	plan := NewPlan(winLen)
+	buf := make([]complex128, winLen)
+	nBins := winLen/2 + 1
+	var out [][]float64
+	for start := 0; start+winLen <= len(x); start += hop {
+		for i := 0; i < winLen; i++ {
+			buf[i] = complex(x[start+i]*win[i], 0)
+		}
+		plan.Forward(buf, buf)
+		row := make([]float64, nBins)
+		for k := 0; k < nBins; k++ {
+			row[k] = CAbs2(buf[k])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// SpectrogramASCII renders an STFT magnitude matrix as rough ASCII
+// art: time runs left to right, frequency bottom to top, limited to
+// [loHz, hiHz]. rows controls the vertical resolution. Intended for
+// terminal inspection of packet structure (preamble, header, data
+// bursts stand out clearly).
+func SpectrogramASCII(stft [][]float64, winLen int, sampleRate float64, loHz, hiHz float64, rows int) []string {
+	if len(stft) == 0 || rows < 1 {
+		return nil
+	}
+	nBins := len(stft[0])
+	binHz := sampleRate / float64(winLen)
+	loBin := int(loHz / binHz)
+	hiBin := int(hiHz / binHz)
+	if loBin < 0 {
+		loBin = 0
+	}
+	if hiBin >= nBins {
+		hiBin = nBins - 1
+	}
+	if hiBin <= loBin {
+		return nil
+	}
+	// Downsample time to at most 100 columns.
+	cols := len(stft)
+	colStep := 1
+	if cols > 100 {
+		colStep = (cols + 99) / 100
+		cols = (cols + colStep - 1) / colStep
+	}
+	// Aggregate into rows x cols power cells.
+	cells := make([][]float64, rows)
+	for r := range cells {
+		cells[r] = make([]float64, cols)
+	}
+	peak := 0.0
+	for t := 0; t < len(stft); t++ {
+		c := t / colStep
+		if c >= cols {
+			break
+		}
+		for b := loBin; b <= hiBin; b++ {
+			r := (b - loBin) * rows / (hiBin - loBin + 1)
+			if r >= rows {
+				r = rows - 1
+			}
+			cells[r][c] += stft[t][b]
+			if cells[r][c] > peak {
+				peak = cells[r][c]
+			}
+		}
+	}
+	if peak <= 0 {
+		return nil
+	}
+	const shades = " .:-=+*#%@"
+	lines := make([]string, rows)
+	for r := 0; r < rows; r++ {
+		// Row 0 of output = highest frequency.
+		src := cells[rows-1-r]
+		line := make([]byte, cols)
+		for c := 0; c < cols; c++ {
+			db := DB(src[c]/peak + 1e-12)
+			// Map -40..0 dB to the shade ramp.
+			idx := int((db + 40) / 40 * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			line[c] = shades[idx]
+		}
+		lines[r] = string(line)
+	}
+	return lines
+}

@@ -1,0 +1,92 @@
+package dsp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSTFTShapeAndToneLocation(t *testing.T) {
+	fs := 48000.0
+	x := Tone(2000, 0.5, fs)
+	stft := STFT(x, 1024, 512, Hann)
+	if len(stft) == 0 {
+		t.Fatal("no frames")
+	}
+	wantFrames := (len(x)-1024)/512 + 1
+	if len(stft) != wantFrames {
+		t.Fatalf("frames %d, want %d", len(stft), wantFrames)
+	}
+	if len(stft[0]) != 513 {
+		t.Fatalf("bins %d, want 513", len(stft[0]))
+	}
+	// Peak bin must be at 2000 Hz in every frame.
+	wantBin := int(2000 / (fs / 1024))
+	for f, row := range stft {
+		best := ArgMax(row)
+		if best < wantBin-1 || best > wantBin+1 {
+			t.Fatalf("frame %d: peak bin %d, want ~%d", f, best, wantBin)
+		}
+	}
+}
+
+func TestSTFTInvalidInputs(t *testing.T) {
+	if STFT(make([]float64, 10), 1024, 512, Hann) != nil {
+		t.Fatal("short input should give nil")
+	}
+	if STFT(make([]float64, 2048), 1, 512, Hann) != nil {
+		t.Fatal("tiny window should give nil")
+	}
+	if STFT(make([]float64, 2048), 1024, 0, Hann) != nil {
+		t.Fatal("zero hop should give nil")
+	}
+}
+
+func TestSpectrogramASCII(t *testing.T) {
+	fs := 48000.0
+	// A chirp sweeps bottom-left to top-right on the spectrogram.
+	x := Chirp(1000, 4000, 0.5, fs)
+	stft := STFT(x, 1024, 512, Hann)
+	lines := SpectrogramASCII(stft, 1024, fs, 500, 4500, 10)
+	if len(lines) != 10 {
+		t.Fatalf("rows %d, want 10", len(lines))
+	}
+	width := len(lines[0])
+	for _, l := range lines {
+		if len(l) != width {
+			t.Fatal("ragged spectrogram")
+		}
+	}
+	// A rising chirp: the energy centroid of the top (high-frequency)
+	// row must sit later in time than the bottom row's.
+	centroid := func(line string) float64 {
+		const shades = " .:-=+*#%@"
+		var wsum, moment float64
+		for i := 0; i < len(line); i++ {
+			w := float64(strings.IndexByte(shades, line[i]))
+			if w < 0 {
+				w = 0
+			}
+			wsum += w
+			moment += w * float64(i)
+		}
+		if wsum == 0 {
+			return -1
+		}
+		return moment / wsum
+	}
+	top := centroid(lines[0])               // highest frequency row
+	bottom := centroid(lines[len(lines)-1]) // lowest frequency row
+	if top >= 0 && bottom >= 0 && top <= bottom {
+		t.Fatalf("chirp should ascend: high-freq centroid %.1f, low-freq %.1f", top, bottom)
+	}
+}
+
+func TestSpectrogramASCIIEmpty(t *testing.T) {
+	if SpectrogramASCII(nil, 1024, 48000, 500, 4500, 8) != nil {
+		t.Fatal("empty STFT should give nil")
+	}
+	stft := STFT(Tone(2000, 0.1, 48000), 1024, 512, Hann)
+	if SpectrogramASCII(stft, 1024, 48000, 4000, 1000, 8) != nil {
+		t.Fatal("inverted band should give nil")
+	}
+}

@@ -1,0 +1,132 @@
+package dsp
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by SolveSymmetricToeplitz when the
+// Levinson recursion encounters a non-positive-definite system (e.g. a
+// degenerate autocorrelation). Callers typically regularize the
+// diagonal and retry, or fall back to SolveDense.
+var ErrNotPositiveDefinite = errors.New("dsp: toeplitz system not positive definite")
+
+// SolveSymmetricToeplitz solves T x = y where T is the n-by-n symmetric
+// Toeplitz matrix whose first column is t (T[i][j] = t[|i-j|]), using
+// the Levinson recursion in O(n^2) time and O(n) extra space.
+//
+// This is the workhorse behind the time-domain MMSE equalizer: with a
+// 480-tap design (the paper's channel length) a dense solve would be
+// ~480^3 flops per packet, Levinson is ~480^2.
+func SolveSymmetricToeplitz(t, y []float64) ([]float64, error) {
+	n := len(t)
+	if n == 0 || len(y) != n {
+		return nil, errors.New("dsp: toeplitz size mismatch")
+	}
+	if t[0] == 0 {
+		return nil, ErrNotPositiveDefinite
+	}
+	x := make([]float64, n)
+	f := make([]float64, n) // forward vector
+	newf := make([]float64, n)
+	f[0] = 1 / t[0]
+	x[0] = y[0] / t[0]
+	for k := 1; k < n; k++ {
+		// Forward error: row k of T against (f, 0).
+		var ef float64
+		for i := 0; i < k; i++ {
+			ef += t[k-i] * f[i]
+		}
+		d := 1 - ef*ef
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		alpha := 1 / d
+		beta := -ef * alpha
+		for i := 0; i <= k; i++ {
+			var a, b float64
+			if i < k {
+				a = f[i]
+			}
+			if i > 0 {
+				b = f[k-i]
+			}
+			newf[i] = alpha*a + beta*b
+		}
+		copy(f[:k+1], newf[:k+1])
+		// Solution error: row k of T against (x, 0).
+		var ex float64
+		for i := 0; i < k; i++ {
+			ex += t[k-i] * x[i]
+		}
+		coef := y[k] - ex
+		// Backward vector of the symmetric system is reverse(f).
+		for i := 0; i <= k; i++ {
+			x[i] += coef * f[k-i]
+		}
+	}
+	return x, nil
+}
+
+// SolveDense solves the dense linear system A x = b by Gaussian
+// elimination with partial pivoting. A is modified. Used as the
+// fallback when Levinson rejects a system, and as the oracle in tests.
+func SolveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("dsp: dense system size mismatch")
+	}
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if best == 0 {
+			return nil, errors.New("dsp: singular dense system")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		x[col], x[piv] = x[piv], x[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		x[col] /= a[col][col]
+		for r := 0; r < col; r++ {
+			x[r] -= a[r][col] * x[col]
+			a[r][col] = 0
+		}
+	}
+	return x, nil
+}
+
+// ToeplitzMatrix materializes the symmetric Toeplitz matrix with first
+// column t (for tests and the dense fallback).
+func ToeplitzMatrix(t []float64) [][]float64 {
+	n := len(t)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			m[i][j] = t[d]
+		}
+	}
+	return m
+}

@@ -1,0 +1,142 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randPosDefToeplitz builds a positive-definite autocorrelation-style
+// first column: r[0] dominant, decaying off-diagonals.
+func randPosDefToeplitz(n int, rng *rand.Rand) []float64 {
+	t := make([]float64, n)
+	t[0] = 1 + rng.Float64()
+	for k := 1; k < n; k++ {
+		t[k] = (rng.Float64() - 0.5) * t[0] / float64(n)
+	}
+	return t
+}
+
+func TestLevinsonMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, n := range []int{1, 2, 3, 8, 32, 100} {
+		tc := randPosDefToeplitz(n, rng)
+		y := randReal(n, rng)
+		got, err := SolveSymmetricToeplitz(tc, y)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := SolveDense(ToeplitzMatrix(tc), y)
+		if err != nil {
+			t.Fatalf("dense n=%d: %v", n, err)
+		}
+		if e := maxAbsDiff(got, want); e > 1e-6 {
+			t.Errorf("n=%d: Levinson vs dense max err %g", n, e)
+		}
+	}
+}
+
+func TestLevinsonResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// Property: the returned x actually satisfies T x = y.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(r.Int31n(60))
+		tc := randPosDefToeplitz(n, r)
+		y := randReal(n, r)
+		x, err := SolveSymmetricToeplitz(tc, y)
+		if err != nil {
+			return false
+		}
+		m := ToeplitzMatrix(tc)
+		for i := 0; i < n; i++ {
+			var acc float64
+			for j := 0; j < n; j++ {
+				acc += m[i][j] * x[j]
+			}
+			if math.Abs(acc-y[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevinsonIdentity(t *testing.T) {
+	// T = I: solution is y itself.
+	n := 10
+	tc := make([]float64, n)
+	tc[0] = 1
+	y := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	x, err := SolveSymmetricToeplitz(tc, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDiff(x, y) > 1e-12 {
+		t.Fatalf("identity solve: %v", x)
+	}
+}
+
+func TestLevinsonRejectsIndefinite(t *testing.T) {
+	// First column [1, 1, 1...] is singular (rank 1) — must be rejected.
+	tc := []float64{1, 1, 1, 1}
+	y := []float64{1, 2, 3, 4}
+	if _, err := SolveSymmetricToeplitz(tc, y); err == nil {
+		t.Fatal("expected rejection of singular system")
+	}
+	if _, err := SolveSymmetricToeplitz([]float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("expected rejection of zero diagonal")
+	}
+}
+
+func TestLevinsonSizeMismatch(t *testing.T) {
+	if _, err := SolveSymmetricToeplitz([]float64{1, 0}, []float64{1}); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	if _, err := SolveSymmetricToeplitz(nil, nil); err == nil {
+		t.Fatal("expected error for empty system")
+	}
+}
+
+func TestSolveDensePivoting(t *testing.T) {
+	// A system that requires row exchange (zero pivot in place).
+	a := [][]float64{
+		{0, 1},
+		{1, 0},
+	}
+	x, err := SolveDense(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("pivot solve got %v", x)
+	}
+}
+
+func TestSolveDenseSingular(t *testing.T) {
+	a := [][]float64{
+		{1, 2},
+		{2, 4},
+	}
+	if _, err := SolveDense(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+}
+
+func BenchmarkLevinson480(b *testing.B) {
+	// The equalizer's actual system size (channel length 480).
+	rng := rand.New(rand.NewSource(32))
+	tc := randPosDefToeplitz(480, rng)
+	y := randReal(480, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveSymmetricToeplitz(tc, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

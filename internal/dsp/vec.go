@@ -1,0 +1,202 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Energy returns the sum of squared samples of x.
+func Energy(x []float64) float64 {
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	return e
+}
+
+// Power returns the mean squared sample value of x (0 for empty x).
+func Power(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Energy(x) / float64(len(x))
+}
+
+// RMS returns the root-mean-square amplitude of x.
+func RMS(x []float64) float64 { return math.Sqrt(Power(x)) }
+
+// Dot returns the inner product of a and b over their common length.
+func Dot(a, b []float64) float64 {
+	n := min(len(a), len(b))
+	var s float64
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Scale multiplies every sample of x by g in place and returns x.
+func Scale(x []float64, g float64) []float64 {
+	for i := range x {
+		x[i] *= g
+	}
+	return x
+}
+
+// Add accumulates src into dst element-wise over the common length.
+func Add(dst, src []float64) {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// AddAt accumulates src into dst starting at offset off, clipping to
+// the bounds of dst. Offsets beyond dst or negative offsets that move
+// src entirely out of range contribute nothing.
+func AddAt(dst, src []float64, off int) {
+	for i, v := range src {
+		j := off + i
+		if j < 0 {
+			continue
+		}
+		if j >= len(dst) {
+			break
+		}
+		dst[j] += v
+	}
+}
+
+// MaxAbs returns the largest absolute sample value in x.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Normalize scales x in place so its peak absolute value is peak.
+// A zero signal is returned unchanged.
+func Normalize(x []float64, peak float64) []float64 {
+	m := MaxAbs(x)
+	if m == 0 {
+		return x
+	}
+	return Scale(x, peak/m)
+}
+
+// ArgMax returns the index of the maximum value of x, or -1 for empty x.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, arg := x[0], 0
+	for i, v := range x {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return arg
+}
+
+// DB converts a power ratio to decibels (10*log10). Non-positive
+// ratios map to -inf.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// AmpDB converts an amplitude ratio to decibels (20*log10).
+func AmpDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// AmpFromDB converts decibels to an amplitude ratio.
+func AmpFromDB(db float64) float64 { return math.Pow(10, db/20) }
+
+// CAbs2 returns |z|^2 without the square root of cmplx.Abs.
+func CAbs2(z complex128) float64 {
+	return real(z)*real(z) + imag(z)*imag(z)
+}
+
+// Conj returns the complex conjugate (avoids importing math/cmplx at
+// call sites that only need conjugation).
+func Conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+// Real extracts the real parts of a complex vector.
+func Real(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// Complex widens a real vector into a complex one.
+func Complex(x []float64) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of x (0 for empty x).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Median returns the median of x without modifying it (0 for empty x).
+func Median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), x...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return 0.5 * (c[n/2-1] + c[n/2])
+}
+
+// Percentile returns the p-th percentile (0..100) of x using linear
+// interpolation between order statistics.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), x...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[len(c)-1]
+	}
+	pos := p / 100 * float64(len(c)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(c) {
+		return c[lo]
+	}
+	return c[lo]*(1-frac) + c[lo+1]*frac
+}

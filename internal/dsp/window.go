@@ -1,0 +1,71 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window for filter design and spectral
+// analysis.
+type Window int
+
+const (
+	// Rectangular applies no tapering.
+	Rectangular Window = iota
+	// Hamming is the classic 0.54 - 0.46 cos window; good sidelobe
+	// suppression for FIR design (-53 dB).
+	Hamming
+	// Hann is the raised cosine window.
+	Hann
+	// Blackman trades main-lobe width for -74 dB sidelobes.
+	Blackman
+)
+
+// String returns the window's conventional name.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hamming:
+		return "hamming"
+	case Hann:
+		return "hann"
+	case Blackman:
+		return "blackman"
+	default:
+		return "unknown"
+	}
+}
+
+// Coefficients returns the n window samples. For n == 1 the window is
+// the single sample 1.
+func (w Window) Coefficients(n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	d := float64(n - 1)
+	for i := 0; i < n; i++ {
+		t := float64(i) / d
+		switch w {
+		case Rectangular:
+			out[i] = 1
+		case Hamming:
+			out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*t)
+		case Hann:
+			out[i] = 0.5 - 0.5*math.Cos(2*math.Pi*t)
+		case Blackman:
+			out[i] = 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+		default:
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Apply multiplies x in place by the window samples and returns x.
+func (w Window) Apply(x []float64) []float64 {
+	c := w.Coefficients(len(x))
+	for i := range x {
+		x[i] *= c[i]
+	}
+	return x
+}

@@ -1,0 +1,173 @@
+// Package exp contains one reproduction harness per figure and table
+// of the paper's evaluation (§3). Each harness runs its workload on
+// the simulated substrate and returns a Report with the same series
+// the paper plots; cmd/aquabench renders them as text and the root
+// bench_test.go wraps each one in a testing.B benchmark.
+//
+// Absolute values differ from the paper (the substrate is a channel
+// simulator, not Lake Washington); the reproduction targets are the
+// shapes: who wins, by what factor, and where the crossovers fall.
+// EXPERIMENTS.md records paper-vs-measured for every harness.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RunConfig sizes a harness run.
+type RunConfig struct {
+	// Packets per measurement point (the paper uses 100; Quick runs
+	// use fewer).
+	Packets int
+	// Seed drives all randomness; a given (Seed, Packets) pair is
+	// fully reproducible.
+	Seed int64
+	// Quick reduces workloads for smoke tests and benchmarks.
+	Quick bool
+}
+
+// withDefaults fills unset fields.
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Packets <= 0 {
+		if c.Quick {
+			c.Packets = 15
+		} else {
+			c.Packets = 100
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Series is one plottable data series.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X, Y   []float64
+}
+
+// Report is a harness's complete output.
+type Report struct {
+	// ID matches the paper artifact ("fig09", "fig12d", "tab-preamble").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Notes carries headline numbers and paper comparisons.
+	Notes []string
+	// Series holds the plotted data.
+	Series []Series
+}
+
+// Harness produces a report.
+type Harness func(RunConfig) (Report, error)
+
+// registered harnesses in paper order.
+var registry []struct {
+	id string
+	h  Harness
+}
+
+func register(id string, h Harness) {
+	registry = append(registry, struct {
+		id string
+		h  Harness
+	}{id, h})
+}
+
+// IDs lists registered experiment IDs in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Lookup finds a harness by ID.
+func Lookup(id string) (Harness, bool) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.h, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg RunConfig) (Report, error) {
+	h, ok := Lookup(id)
+	if !ok {
+		return Report{}, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(IDs(), ", "))
+	}
+	return h(cfg)
+}
+
+// Render writes the report as aligned text.
+func (r Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "   %s\n", n)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "\n-- %s --\n", s.Name)
+		if len(s.X) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s %-14s\n", s.XLabel, s.YLabel)
+		for i := range s.X {
+			fmt.Fprintf(w, "%-14.4g %-14.4g\n", s.X[i], s.Y[i])
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// cdfSeries converts samples into an empirical CDF series.
+func cdfSeries(name, xlabel string, samples []float64) Series {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	x := make([]float64, len(s))
+	y := make([]float64, len(s))
+	for i, v := range s {
+		x[i] = v
+		y[i] = float64(i+1) / float64(len(s))
+	}
+	return Series{Name: name, XLabel: xlabel, YLabel: "CDF", X: x, Y: y}
+}
+
+// summarizeCDF reduces a CDF to quartile points for readable output.
+func summarizeCDF(name, xlabel string, samples []float64) Series {
+	if len(samples) == 0 {
+		return Series{Name: name, XLabel: xlabel, YLabel: "CDF"}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	qs := []float64{0.10, 0.25, 0.50, 0.75, 0.90}
+	x := make([]float64, len(qs))
+	y := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(s)-1))
+		x[i] = s[idx]
+		y[i] = q
+	}
+	return Series{Name: name, XLabel: xlabel, YLabel: "CDF", X: x, Y: y}
+}
+
+// median of a sample set (0 for empty).
+func median(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return 0.5 * (s[n/2-1] + s[n/2])
+}

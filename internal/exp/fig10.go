@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+
+	"aquago/internal/channel"
+	"aquago/internal/modem"
+)
+
+func init() {
+	register("fig10", Fig10Depth)
+	register("fig11", Fig11DeepWater)
+}
+
+// Fig10Depth reproduces Fig 10: at the 9 m-deep museum site with a
+// fixed 5 m horizontal distance, depths near the surface (2 m) and
+// near the bottom (7 m) are the hardest multipath environments; the
+// adaptive scheme keeps PER far below the fixed bands at every depth.
+func Fig10Depth(cfg RunConfig) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{
+		ID:    "fig10",
+		Title: "Effect of depth (museum, 9 m deep, 5 m distance)",
+	}
+	depths := []float64{2, 5, 7}
+	mcfg := modem.DefaultConfig()
+
+	adaptive := Series{Name: "PER adaptive", XLabel: "depth m", YLabel: "PER"}
+	for di, depth := range depths {
+		spec := linkSpec{env: channel.Museum, distanceM: 5, depthM: depth}
+		stats, err := runTrials(spec, cfg.Packets, cfg.Seed+int64(di)*17)
+		if err != nil {
+			return rep, err
+		}
+		rep.Series = append(rep.Series, summarizeCDF(
+			fmt.Sprintf("bitrate CDF depth %.0f m", depth), "bitrate bps", stats.BitratesBPS))
+		adaptive.X = append(adaptive.X, depth)
+		adaptive.Y = append(adaptive.Y, stats.PER())
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"depth %.0f m: median bitrate %.0f bps, adaptive PER %.1f%%",
+			depth, median(stats.BitratesBPS), 100*stats.PER()))
+	}
+	rep.Series = append(rep.Series, adaptive)
+
+	for bi, band := range fixedBands(mcfg) {
+		s := Series{Name: "PER " + fixedBandNames[bi], XLabel: "depth m", YLabel: "PER"}
+		var worstFixed float64
+		for di, depth := range depths {
+			b := band
+			spec := linkSpec{env: channel.Museum, distanceM: 5, depthM: depth, fixedBand: &b}
+			stats, err := runTrials(spec, cfg.Packets, cfg.Seed+int64(di)*17)
+			if err != nil {
+				return rep, err
+			}
+			s.X = append(s.X, depth)
+			s.Y = append(s.Y, stats.PER())
+			if stats.PER() > worstFixed {
+				worstFixed = stats.PER()
+			}
+		}
+		rep.Series = append(rep.Series, s)
+	}
+	return rep, nil
+}
+
+// Fig11DeepWater reproduces Fig 11: at the bay site with the phones
+// 12 m down in the 15 m water column, inside the hard 15 m-rated
+// case, communication still works — at a reduced bitrate (paper
+// median: 133 bps).
+func Fig11DeepWater(cfg RunConfig) (Report, error) {
+	cfg = cfg.withDefaults()
+	rep := Report{
+		ID:    "fig11",
+		Title: "Deeper water: bay at 12 m depth, hard polycarbonate case",
+	}
+	spec := linkSpec{
+		env:       channel.Bay,
+		distanceM: 3.5, // either side of the two-person kayak
+		depthM:    12,
+		casing:    channel.CasingHardCase,
+	}
+	stats, err := runTrials(spec, cfg.Packets, cfg.Seed)
+	if err != nil {
+		return rep, err
+	}
+	rep.Series = append(rep.Series,
+		summarizeCDF("bitrate CDF (12 m deep, hard case)", "bitrate bps", stats.BitratesBPS))
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("median selected bitrate %.0f bps (paper: 133 bps with the hard case)",
+			median(stats.BitratesBPS)),
+		fmt.Sprintf("PER %.1f%%, %d/%d packets delivered",
+			100*stats.PER(), stats.Delivered, stats.Sent))
+	return rep, nil
+}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"testing"
+
+	"aquago/internal/channel"
+)
+
+// TestAdaptivePERAcrossSites is the end-to-end regression guard for
+// the system's headline behavior: the adaptive protocol's packet
+// error rate across representative sites, distances and depths stays
+// within the regime the paper reports (single digits at short range,
+// tens of percent at the 30 m edge). The per-stage histogram in the
+// logs localizes failures when a change regresses one stage.
+func TestAdaptivePERAcrossSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-site PER sweep")
+	}
+	cases := []struct {
+		name   string
+		spec   linkSpec
+		maxPER float64
+	}{
+		{"lake5", linkSpec{env: channel.Lake, distanceM: 5}, 0.15},
+		{"lake10", linkSpec{env: channel.Lake, distanceM: 10}, 0.20},
+		{"lake20", linkSpec{env: channel.Lake, distanceM: 20}, 0.30},
+		{"lake30", linkSpec{env: channel.Lake, distanceM: 30}, 0.40},
+		{"park5", linkSpec{env: channel.Park, distanceM: 5}, 0.15},
+		{"museum2", linkSpec{env: channel.Museum, distanceM: 5, depthM: 2}, 0.30},
+		{"museum7", linkSpec{env: channel.Museum, distanceM: 5, depthM: 7}, 0.35},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			stats, err := runTrials(c.spec, 30, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hist := map[string]int{}
+			for _, r := range stats.Results {
+				key := r.String()
+				if len(key) > 4 {
+					key = key[:4]
+				}
+				hist[key]++
+			}
+			t.Logf("%s: PER=%.0f%% stages=%v", c.name, 100*stats.PER(), hist)
+			if stats.PER() > c.maxPER {
+				t.Errorf("%s: PER %.0f%% exceeds guard %.0f%%",
+					c.name, 100*stats.PER(), 100*c.maxPER)
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package fec
+
+// CRC8 computes the CRC-8 (polynomial x^8 + x^2 + x + 1, 0x07,
+// init 0x00) over a bit slice, MSB-first. AquaApp's 16-bit packets
+// carry no checksum in the paper (errors were counted against known
+// ground truth); the library offers CRC-8 as an optional trailer so
+// real deployments can detect residual Viterbi errors.
+func CRC8(bits []int) uint8 {
+	var crc uint8
+	for _, b := range bits {
+		crc ^= uint8(b&1) << 7
+		if crc&0x80 != 0 {
+			crc = crc<<1 ^ 0x07
+		} else {
+			crc <<= 1
+		}
+	}
+	return crc
+}
+
+// AppendCRC8 returns bits with the 8 CRC bits appended (MSB first).
+func AppendCRC8(bits []int) []int {
+	crc := CRC8(bits)
+	out := make([]int, 0, len(bits)+8)
+	out = append(out, bits...)
+	for i := 7; i >= 0; i-- {
+		out = append(out, int(crc>>uint(i))&1)
+	}
+	return out
+}
+
+// CheckCRC8 verifies a bit slice produced by AppendCRC8. It returns
+// the payload bits and whether the checksum matched.
+func CheckCRC8(bits []int) ([]int, bool) {
+	if len(bits) < 8 {
+		return nil, false
+	}
+	payload := bits[:len(bits)-8]
+	var got uint8
+	for _, b := range bits[len(bits)-8:] {
+		got = got<<1 | uint8(b&1)
+	}
+	return payload, CRC8(payload) == got
+}
+
+// BitsFromBytes unpacks bytes into bits, MSB first.
+func BitsFromBytes(data []byte) []int {
+	out := make([]int, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			out = append(out, int(b>>uint(i))&1)
+		}
+	}
+	return out
+}
+
+// BytesFromBits packs bits (MSB first) into bytes; the bit count must
+// be a multiple of 8.
+func BytesFromBits(bits []int) []byte {
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b != 0 {
+			out[i/8] |= 1 << uint(7-i%8)
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package fec
+
+import "fmt"
+
+// Interleaver implements the paper's bit-to-subcarrier assignment:
+// coded bits fill one OFDM symbol completely before moving to the
+// next (so consecutive errors on one subcarrier land in different
+// symbols), and within a symbol bits are placed with a stride of
+// one-third of the selected band so that adjacent-subcarrier error
+// bursts — the failure mode the authors observed — are separated in
+// the code stream. Bands narrower than three subcarriers degrade to
+// no interleaving, as specified.
+//
+// The interleaver is a fixed permutation for a given (subcarriers,
+// total bits) pair; Interleave and Deinterleave are exact inverses.
+type Interleaver struct {
+	subcarriers int
+	total       int
+	perm        []int // perm[i] = grid position of coded bit i
+	inv         []int
+}
+
+// NewInterleaver builds the permutation for total coded bits spread
+// over symbols of `subcarriers` positions each. total may be any
+// positive count; the final symbol may be partially filled.
+func NewInterleaver(subcarriers, total int) (*Interleaver, error) {
+	if subcarriers < 1 {
+		return nil, fmt.Errorf("fec: interleaver needs >= 1 subcarrier, got %d", subcarriers)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("fec: negative bit count %d", total)
+	}
+	il := &Interleaver{subcarriers: subcarriers, total: total}
+	il.perm = make([]int, total)
+	il.inv = make([]int, total)
+
+	order := visitOrder(subcarriers)
+	for i := 0; i < total; i++ {
+		sym := i / subcarriers
+		within := i % subcarriers
+		il.perm[i] = sym*subcarriers + order[within]
+	}
+	// A partially-filled final symbol would leave holes in the grid;
+	// compact the permutation to a bijection on [0,total) by ranking.
+	il.perm = compact(il.perm)
+	for i, p := range il.perm {
+		il.inv[p] = i
+	}
+	return il, nil
+}
+
+// visitOrder returns the within-symbol subcarrier visit order for a
+// band of n subcarriers: stride n/3 (identity when n < 3).
+func visitOrder(n int) []int {
+	order := make([]int, 0, n)
+	step := n / 3
+	if step < 1 {
+		step = 1
+	}
+	for r := 0; r < step; r++ {
+		for idx := r; idx < n; idx += step {
+			order = append(order, idx)
+		}
+	}
+	return order
+}
+
+// compact maps a slice of distinct non-negative ints to their ranks,
+// preserving order, so the result is a permutation of [0, len).
+func compact(p []int) []int {
+	n := len(p)
+	type kv struct{ val, idx int }
+	s := make([]kv, n)
+	for i, v := range p {
+		s[i] = kv{v, i}
+	}
+	// insertion sort by value (n is tens of bits; fine)
+	for i := 1; i < n; i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j].val > v.val {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+	out := make([]int, n)
+	for rank, e := range s {
+		out[e.idx] = rank
+	}
+	return out
+}
+
+// Interleave reorders coded bits into transmission (grid) order.
+func (il *Interleaver) Interleave(bits []int) ([]int, error) {
+	if len(bits) != il.total {
+		return nil, fmt.Errorf("fec: interleave %d bits, built for %d", len(bits), il.total)
+	}
+	out := make([]int, il.total)
+	for i, b := range bits {
+		out[il.perm[i]] = b
+	}
+	return out, nil
+}
+
+// Deinterleave restores code-stream order from grid order. It is the
+// exact inverse of Interleave.
+func (il *Interleaver) Deinterleave(bits []int) ([]int, error) {
+	if len(bits) != il.total {
+		return nil, fmt.Errorf("fec: deinterleave %d bits, built for %d", len(bits), il.total)
+	}
+	out := make([]int, il.total)
+	for i, b := range bits {
+		out[il.inv[i]] = b
+	}
+	return out, nil
+}
+
+// DeinterleaveSoft restores code-stream order for soft values.
+func (il *Interleaver) DeinterleaveSoft(vals []float64) ([]float64, error) {
+	if len(vals) != il.total {
+		return nil, fmt.Errorf("fec: deinterleave %d values, built for %d", len(vals), il.total)
+	}
+	out := make([]float64, il.total)
+	for i, v := range vals {
+		out[il.inv[i]] = v
+	}
+	return out, nil
+}
+
+// Subcarriers returns the per-symbol width the permutation was built
+// for; Total returns the bit count.
+func (il *Interleaver) Subcarriers() int { return il.subcarriers }
+
+// Total returns the number of bits the interleaver permutes.
+func (il *Interleaver) Total() int { return il.total }

@@ -1,0 +1,232 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, sc := range []int{1, 2, 3, 4, 10, 19, 60} {
+		for _, total := range []int{0, 1, 24, 60, 61, 120, 123} {
+			il, err := NewInterleaver(sc, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bits := randBits(total, rng)
+			inter, err := il.Interleave(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := il.Deinterleave(inter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(back, bits) {
+				t.Fatalf("sc=%d total=%d: round trip failed", sc, total)
+			}
+		}
+	}
+}
+
+func TestInterleaverIsPermutation(t *testing.T) {
+	il, err := NewInterleaver(19, 24) // L=19 band, 24 coded bits
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 24)
+	for _, p := range il.perm {
+		if p < 0 || p >= 24 || seen[p] {
+			t.Fatalf("perm not a bijection: %v", il.perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestInterleaverRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	f := func(scRaw, totalRaw uint8) bool {
+		sc := int(scRaw%64) + 1
+		total := int(totalRaw) * 2
+		il, err := NewInterleaver(sc, total)
+		if err != nil {
+			return false
+		}
+		bits := randBits(total, rng)
+		inter, err := il.Interleave(bits)
+		if err != nil {
+			return false
+		}
+		back, err := il.Deinterleave(inter)
+		return err == nil && bitsEqual(back, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaverSpreadsAdjacentBits(t *testing.T) {
+	// The design goal: consecutive coded bits must not land on
+	// adjacent subcarriers of the same symbol (for bands >= 3 bins).
+	il, err := NewInterleaver(30, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < il.Total(); i++ {
+		p0, p1 := il.perm[i], il.perm[i+1]
+		if p0/30 != p1/30 {
+			continue // different symbols: fine
+		}
+		d := p0%30 - p1%30
+		if d < 0 {
+			d = -d
+		}
+		if d == 1 {
+			t.Fatalf("coded bits %d,%d landed on adjacent subcarriers", i, i+1)
+		}
+	}
+}
+
+func TestInterleaverNarrowBandIdentity(t *testing.T) {
+	// Fewer than 3 subcarriers: paper says no interleaving (within a
+	// symbol the order is sequential).
+	il, err := NewInterleaver(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range il.perm {
+		if p != i {
+			t.Fatalf("narrow band should be identity: perm[%d]=%d", i, p)
+		}
+	}
+}
+
+func TestInterleaverSymbolFirstFill(t *testing.T) {
+	// Bits 0..L-1 must all land in symbol 0, bits L..2L-1 in symbol 1.
+	il, err := NewInterleaver(10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range il.perm {
+		if p/10 != i/10 {
+			t.Fatalf("bit %d crossed into symbol %d", i, p/10)
+		}
+	}
+}
+
+func TestInterleaverSoft(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	il, err := NewInterleaver(19, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := randBits(24, rng)
+	soft := make([]float64, 24)
+	inter, _ := il.Interleave(bits)
+	for i, b := range inter {
+		if b == 0 {
+			soft[i] = 1
+		} else {
+			soft[i] = -1
+		}
+	}
+	back, err := il.DeinterleaveSoft(soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bits {
+		want := 1.0
+		if b == 1 {
+			want = -1.0
+		}
+		if back[i] != want {
+			t.Fatalf("soft deinterleave mismatch at %d", i)
+		}
+	}
+}
+
+func TestInterleaverValidation(t *testing.T) {
+	if _, err := NewInterleaver(0, 10); err == nil {
+		t.Fatal("expected error for 0 subcarriers")
+	}
+	if _, err := NewInterleaver(4, -1); err == nil {
+		t.Fatal("expected error for negative total")
+	}
+	il, _ := NewInterleaver(4, 8)
+	if _, err := il.Interleave(make([]int, 7)); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := il.Deinterleave(make([]int, 9)); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := il.DeinterleaveSoft(make([]float64, 9)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestCRC8RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, n := range []int{0, 1, 8, 16, 100} {
+		bits := randBits(n, rng)
+		withCRC := AppendCRC8(bits)
+		if len(withCRC) != n+8 {
+			t.Fatalf("AppendCRC8 length %d, want %d", len(withCRC), n+8)
+		}
+		payload, ok := CheckCRC8(withCRC)
+		if !ok {
+			t.Fatalf("n=%d: valid CRC rejected", n)
+		}
+		if !bitsEqual(payload, bits) {
+			t.Fatalf("n=%d: payload mangled", n)
+		}
+	}
+}
+
+func TestCRC8DetectsAllSingleBitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	bits := randBits(16, rng)
+	withCRC := AppendCRC8(bits)
+	for pos := range withCRC {
+		bad := append([]int(nil), withCRC...)
+		bad[pos] ^= 1
+		if _, ok := CheckCRC8(bad); ok {
+			t.Fatalf("single-bit error at %d not detected", pos)
+		}
+	}
+}
+
+func TestCRC8DetectsBurstErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	bits := randBits(24, rng)
+	withCRC := AppendCRC8(bits)
+	// All burst errors of length <= 8 are detectable by an 8-bit CRC.
+	for start := 0; start+8 <= len(withCRC); start++ {
+		bad := append([]int(nil), withCRC...)
+		for i := start; i < start+8; i++ {
+			bad[i] ^= 1
+		}
+		if _, ok := CheckCRC8(bad); ok {
+			t.Fatalf("8-bit burst at %d not detected", start)
+		}
+	}
+}
+
+func TestCheckCRC8Short(t *testing.T) {
+	if _, ok := CheckCRC8(make([]int, 5)); ok {
+		t.Fatal("short input should fail")
+	}
+}
+
+func TestBitsBytes(t *testing.T) {
+	data := []byte{0xA5, 0x3C}
+	bits := BitsFromBytes(data)
+	want := []int{1, 0, 1, 0, 0, 1, 0, 1, 0, 0, 1, 1, 1, 1, 0, 0}
+	if !bitsEqual(bits, want) {
+		t.Fatalf("BitsFromBytes = %v", bits)
+	}
+	back := BytesFromBits(bits)
+	if back[0] != 0xA5 || back[1] != 0x3C {
+		t.Fatalf("BytesFromBits = %x", back)
+	}
+}

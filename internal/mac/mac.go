@@ -1,0 +1,187 @@
+// Package mac implements AquaApp's carrier-sense medium access
+// (§2.4): each phone measures the 1-4 kHz band energy every 80 ms
+// before transmitting; a busy channel triggers a random backoff in
+// multiples of the packet duration, and hearing the channel busy
+// during backoff extends it by one packet duration so the backoff
+// never expires mid-packet.
+package mac
+
+import (
+	"math/rand"
+
+	"aquago/internal/sim"
+)
+
+// Paper constants.
+const (
+	// SenseIntervalS is the carrier-sense measurement cadence (80 ms).
+	SenseIntervalS = 0.080
+	// MaxBackoffPackets bounds the initial random backoff draw.
+	MaxBackoffPackets = 4
+)
+
+// Config parameterizes a network run.
+type Config struct {
+	// CarrierSense toggles the MAC (Fig 19 compares both).
+	CarrierSense bool
+	// PacketDurS is the on-air packet duration (sets the backoff
+	// quantum).
+	PacketDurS float64
+	// PacketsPerTx is the number of packets each transmitter sends
+	// (120 in the paper).
+	PacketsPerTx int
+	// MeanGapS is the mean of each node's random inter-packet pause
+	// ("send continuously after a random backoff period of multiple
+	// seconds").
+	MeanGapS float64
+	// QuietOffS/QuietDurS describe the silent feedback window inside
+	// each exchange (energy-only carrier sense cannot hear through
+	// it). Zero QuietDurS models a solid packet. Defaults follow the
+	// protocol timing: header ends ~0.19 s in, silence ~0.13 s.
+	QuietOffS, QuietDurS float64
+	// PreambleAware adds the paper's suggested improvement (§2.4):
+	// carrier sense that also detects preambles knows an exchange is
+	// in progress and treats the channel as busy through the silent
+	// feedback window, eliminating the residual collisions of
+	// energy-only sensing.
+	PreambleAware bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// withDefaults fills paper defaults.
+func (c Config) withDefaults() Config {
+	if c.PacketDurS <= 0 {
+		c.PacketDurS = 0.6
+	}
+	if c.PacketsPerTx <= 0 {
+		c.PacketsPerTx = 120
+	}
+	if c.MeanGapS <= 0 {
+		c.MeanGapS = 3.2
+	}
+	if c.QuietDurS == 0 {
+		c.QuietOffS = 0.19
+		c.QuietDurS = 0.13
+	}
+	if c.QuietDurS < 0 {
+		c.QuietDurS = 0 // explicit solid-packet mode
+	}
+	return c
+}
+
+// Result summarizes one network run.
+type Result struct {
+	// PerNode maps node index to (collided, sent).
+	PerNode map[int][2]int
+	// CollisionFraction is packets-in-collision / packets-sent.
+	CollisionFraction float64
+	// Sent is the total packet count.
+	Sent int
+	// DurationS is the simulated time until the last node finished.
+	DurationS float64
+}
+
+// nodeState tracks one transmitter through the simulation.
+type nodeState struct {
+	id        int
+	sent      int
+	nextTryS  float64 // time the next packet becomes ready
+	backoffS  float64 // remaining backoff (carrier-sense mode)
+	inBackoff bool
+	txUntilS  float64 // busy transmitting until
+	seq       int
+}
+
+// RunNetwork simulates transmitters contending on the medium and
+// returns collision statistics. txNodes lists the transmitting node
+// indices (the receiver(s) stay silent). The medium accumulates the
+// transmission log; callers share one medium per run.
+func RunNetwork(med *sim.Medium, txNodes []int, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	states := make([]*nodeState, len(txNodes))
+	for i, id := range txNodes {
+		states[i] = &nodeState{
+			id: id,
+			// Initial random stagger of "multiple seconds".
+			nextTryS: rng.Float64() * 2 * cfg.MeanGapS,
+		}
+	}
+	now := 0.0
+	active := len(states)
+	for active > 0 {
+		active = 0
+		for _, st := range states {
+			if st.sent >= cfg.PacketsPerTx {
+				continue
+			}
+			active++
+			st.step(med, cfg, now, rng)
+		}
+		now += SenseIntervalS
+		if now > 1e6 {
+			break // safety bound
+		}
+	}
+	perNode, frac := med.CollisionStats()
+	total := 0
+	for _, c := range perNode {
+		total += c[1]
+	}
+	return Result{PerNode: perNode, CollisionFraction: frac, Sent: total, DurationS: now}
+}
+
+// step advances one node by one sense interval.
+func (st *nodeState) step(med *sim.Medium, cfg Config, now float64, rng *rand.Rand) {
+	if now < st.txUntilS || now < st.nextTryS {
+		return // transmitting or waiting out the inter-packet pause
+	}
+	if !cfg.CarrierSense {
+		st.transmit(med, cfg, now, rng)
+		return
+	}
+	busy := med.BusyAt(st.id, now)
+	if !st.inBackoff {
+		if busy {
+			// Draw a backoff in whole packet durations.
+			n := 1 + rng.Intn(MaxBackoffPackets)
+			st.backoffS = float64(n) * cfg.PacketDurS
+			st.inBackoff = true
+			return
+		}
+		st.transmit(med, cfg, now, rng)
+		return
+	}
+	// In backoff: a busy channel extends the backoff by one packet
+	// duration (the paper's rule ensuring it cannot elapse while a
+	// packet is on the air); an idle channel lets it drain.
+	if busy {
+		st.backoffS += cfg.PacketDurS
+		return
+	}
+	st.backoffS -= SenseIntervalS
+	if st.backoffS <= 0 {
+		st.inBackoff = false
+		st.transmit(med, cfg, now, rng)
+	}
+}
+
+func (st *nodeState) transmit(med *sim.Medium, cfg Config, now float64, rng *rand.Rand) {
+	quietOff, quietDur := cfg.QuietOffS, cfg.QuietDurS
+	if cfg.PreambleAware {
+		// A preamble-detecting carrier sense knows the exchange spans
+		// the quiet window too; model it as a solid busy interval.
+		quietOff, quietDur = 0, 0
+	}
+	med.Transmit(sim.Transmission{
+		From: st.id, StartS: now, DurS: cfg.PacketDurS,
+		QuietOffS: quietOff, QuietDurS: quietDur,
+		Seq: st.seq,
+	})
+	st.seq++
+	st.sent++
+	st.txUntilS = now + cfg.PacketDurS
+	// Exponential inter-packet pause (mean MeanGapS) after finishing.
+	st.nextTryS = st.txUntilS + rng.ExpFloat64()*cfg.MeanGapS
+}

@@ -1,0 +1,141 @@
+package mac
+
+import (
+	"testing"
+
+	"aquago/internal/channel"
+	"aquago/internal/sim"
+)
+
+// buildNetwork places n transmitters 5-10 m from one receiver, as in
+// the paper's MAC evaluation at the bridge location.
+func buildNetwork(nTx int) (*sim.Medium, []int) {
+	med := sim.New(channel.Bridge)
+	med.AddNode(sim.Position{X: 0, Z: 1}) // receiver
+	tx := make([]int, nTx)
+	for i := range tx {
+		tx[i] = med.AddNode(sim.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
+	}
+	return med, tx
+}
+
+func TestSingleTransmitterNeverCollides(t *testing.T) {
+	med, tx := buildNetwork(1)
+	res := RunNetwork(med, tx, Config{CarrierSense: false, PacketsPerTx: 50, Seed: 1})
+	if res.CollisionFraction != 0 {
+		t.Fatalf("single transmitter collision fraction %g", res.CollisionFraction)
+	}
+	if res.Sent != 50 {
+		t.Fatalf("sent %d packets, want 50", res.Sent)
+	}
+}
+
+func TestCarrierSenseReducesCollisions3Tx(t *testing.T) {
+	// Fig 19: three transmitters collide ~53% of the time without
+	// carrier sense, ~7% with it.
+	med, tx := buildNetwork(3)
+	without := RunNetwork(med, tx, Config{CarrierSense: false, PacketsPerTx: 120, Seed: 7})
+	med.Reset()
+	with := RunNetwork(med, tx, Config{CarrierSense: true, PacketsPerTx: 120, Seed: 7})
+	t.Logf("3 tx: without CS %.1f%%, with CS %.1f%%",
+		100*without.CollisionFraction, 100*with.CollisionFraction)
+	if without.CollisionFraction < 0.3 {
+		t.Fatalf("without CS fraction %g too low to be interesting", without.CollisionFraction)
+	}
+	if with.CollisionFraction > without.CollisionFraction/3 {
+		t.Fatalf("carrier sense ineffective: %g -> %g",
+			without.CollisionFraction, with.CollisionFraction)
+	}
+	if with.CollisionFraction > 0.15 {
+		t.Fatalf("with CS fraction %g too high", with.CollisionFraction)
+	}
+}
+
+func TestCarrierSenseReducesCollisions2Tx(t *testing.T) {
+	// Fig 19's two-transmitter network: 33% -> 5%.
+	med, tx := buildNetwork(2)
+	without := RunNetwork(med, tx, Config{CarrierSense: false, PacketsPerTx: 120, Seed: 9})
+	med.Reset()
+	with := RunNetwork(med, tx, Config{CarrierSense: true, PacketsPerTx: 120, Seed: 9})
+	t.Logf("2 tx: without CS %.1f%%, with CS %.1f%%",
+		100*without.CollisionFraction, 100*with.CollisionFraction)
+	if without.CollisionFraction < 0.15 {
+		t.Fatalf("without CS fraction %g too low", without.CollisionFraction)
+	}
+	if with.CollisionFraction > 0.12 {
+		t.Fatalf("with CS fraction %g too high", with.CollisionFraction)
+	}
+	if with.CollisionFraction >= without.CollisionFraction {
+		t.Fatal("carrier sense did not help")
+	}
+}
+
+func TestAllPacketsEventuallySent(t *testing.T) {
+	med, tx := buildNetwork(3)
+	res := RunNetwork(med, tx, Config{CarrierSense: true, PacketsPerTx: 40, Seed: 3})
+	if res.Sent != 3*40 {
+		t.Fatalf("sent %d packets, want 120 (backoff deadlock?)", res.Sent)
+	}
+	for _, id := range tx {
+		c := res.PerNode[id]
+		if c[1] != 40 {
+			t.Fatalf("node %d sent %d, want 40", id, c[1])
+		}
+	}
+	if res.DurationS <= 0 {
+		t.Fatal("duration not tracked")
+	}
+}
+
+func TestPreambleAwareCSBeatsEnergyOnly(t *testing.T) {
+	// The paper's §2.4 improvement note: preamble detection closes
+	// the silent-feedback-window vulnerability of energy-only carrier
+	// sense. Averaged over several runs it must not collide more, and
+	// should generally collide less.
+	var energySum, preambleSum float64
+	const runs = 6
+	for r := 0; r < runs; r++ {
+		med, tx := buildNetwork(3)
+		energy := RunNetwork(med, tx, Config{
+			CarrierSense: true, PacketsPerTx: 120, Seed: 100 + int64(r),
+		})
+		med.Reset()
+		aware := RunNetwork(med, tx, Config{
+			CarrierSense: true, PacketsPerTx: 120, Seed: 100 + int64(r),
+			PreambleAware: true,
+		})
+		energySum += energy.CollisionFraction
+		preambleSum += aware.CollisionFraction
+	}
+	t.Logf("carrier sense collisions: energy-only %.1f%%, preamble-aware %.1f%%",
+		100*energySum/runs, 100*preambleSum/runs)
+	if preambleSum > energySum {
+		t.Fatalf("preamble-aware CS (%g) worse than energy-only (%g)",
+			preambleSum/runs, energySum/runs)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.PacketDurS != 0.6 || cfg.PacketsPerTx != 120 || cfg.MeanGapS != 3.2 {
+		t.Fatalf("defaults %+v", cfg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	med1, tx1 := buildNetwork(3)
+	r1 := RunNetwork(med1, tx1, Config{CarrierSense: true, PacketsPerTx: 60, Seed: 42})
+	med2, tx2 := buildNetwork(3)
+	r2 := RunNetwork(med2, tx2, Config{CarrierSense: true, PacketsPerTx: 60, Seed: 42})
+	if r1.CollisionFraction != r2.CollisionFraction || r1.Sent != r2.Sent {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func BenchmarkRunNetwork3Tx(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		med, tx := buildNetwork(3)
+		RunNetwork(med, tx, Config{CarrierSense: true, PacketsPerTx: 120, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,113 @@
+package modem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aquago/internal/dsp"
+)
+
+func TestDopplerEstimateCleanPreamble(t *testing.T) {
+	m := mustModem(t, DefaultConfig())
+	for _, speed := range []float64{0, 0.5, 1.0, -1.0, 2.0} {
+		trueFactor := 1 + speed/1500.0 // separating at `speed` m/s
+		rx := dsp.ResampleLinear(m.Preamble(), trueFactor)
+		// Margin so the last segment is fully present.
+		rx = append(rx, make([]float64, 64)...)
+		got, ok := m.EstimateDopplerFactor(rx)
+		if !ok {
+			t.Fatalf("speed %g: estimate rejected", speed)
+		}
+		// Factor error tolerance equals ~5 cm/s of speed.
+		if e := math.Abs(got - trueFactor); e > 4e-5 {
+			t.Fatalf("speed %g: factor %.6f, want %.6f (err %.2g)", speed, got, trueFactor, e)
+		}
+	}
+}
+
+func TestDopplerEstimateUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	m := mustModem(t, DefaultConfig())
+	trueFactor := 1 + 0.8/1500.0
+	rx := dsp.ResampleLinear(m.Preamble(), trueFactor)
+	rx = append(rx, make([]float64, 64)...)
+	for i := range rx {
+		rx[i] += 0.2 * rng.NormFloat64() // ~14 dB SNR
+	}
+	got, ok := m.EstimateDopplerFactor(rx)
+	if !ok {
+		t.Fatal("noisy estimate rejected")
+	}
+	if e := math.Abs(got - trueFactor); e > 2e-4 {
+		t.Fatalf("noisy factor %.6f, want %.6f", got, trueFactor)
+	}
+}
+
+func TestDopplerRejectsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	m := mustModem(t, DefaultConfig())
+	rx := make([]float64, m.PreambleLen()+200)
+	for i := range rx {
+		rx[i] = rng.NormFloat64()
+	}
+	if _, ok := m.EstimateDopplerFactor(rx); ok {
+		t.Fatal("pure noise produced a Doppler estimate")
+	}
+	if _, ok := m.EstimateDopplerFactor(make([]float64, 100)); ok {
+		t.Fatal("short input produced a Doppler estimate")
+	}
+}
+
+func TestCompensateDopplerRestoresSubcarriers(t *testing.T) {
+	m := mustModem(t, DefaultConfig())
+	band := Band{Lo: 10, Hi: 40}
+	rng := rand.New(rand.NewSource(98))
+	bits := randomBits(band.Width()*4, rng)
+	tx, err := m.ModulateData(bits, band, DataOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.5 m/s separation: strong enough to hurt long data sections.
+	factor := 1 + 1.5/1500.0
+	rx := dsp.ResampleLinear(tx, factor)
+
+	// Without compensation.
+	softRaw, err := m.DemodulateData(rx[:len(tx)], band, len(bits), DataOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRaw := countBitErrors(HardBits(softRaw), bits)
+
+	// With compensation at the estimated factor (simulate estimation
+	// from the co-transmitted preamble).
+	pre := dsp.ResampleLinear(m.Preamble(), factor)
+	pre = append(pre, make([]float64, 64)...)
+	est, ok := m.EstimateDopplerFactor(pre)
+	if !ok {
+		t.Fatal("factor estimation failed")
+	}
+	fixed := CompensateDoppler(rx, est)
+	if len(fixed) < m.DataLen(len(bits), band) {
+		t.Fatal("compensated signal too short")
+	}
+	softFix, err := m.DemodulateData(fixed[:m.DataLen(len(bits), band)], band, len(bits), DataOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errFix := countBitErrors(HardBits(softFix), bits)
+	t.Logf("Doppler 1.5 m/s over %d symbols: %d errors raw, %d compensated", 4, errRaw, errFix)
+	if errFix > errRaw {
+		t.Fatalf("compensation increased errors: %d -> %d", errRaw, errFix)
+	}
+}
+
+func TestCompensateDopplerIdentity(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if got := CompensateDoppler(x, 1); &got[0] != &x[0] {
+		t.Fatal("identity factor should return the input")
+	}
+	if got := CompensateDoppler(x, 0); &got[0] != &x[0] {
+		t.Fatal("invalid factor should return the input")
+	}
+}

@@ -1,0 +1,144 @@
+package modem
+
+import (
+	"fmt"
+
+	"aquago/internal/dsp"
+	"aquago/internal/seq"
+)
+
+// fftPlan wraps the dsp plan with the real-passband OFDM conventions:
+// data rides on positive-frequency bins with Hermitian mirroring so
+// the time-domain waveform is real.
+type fftPlan struct {
+	n    int
+	plan *dsp.Plan
+	buf  []complex128
+}
+
+func newFFTPlan(n int) *fftPlan {
+	return &fftPlan{n: n, plan: dsp.NewPlan(n), buf: make([]complex128, n)}
+}
+
+// synthesize converts data-bin values (length numBins, mapped to FFT
+// bins [binLow, binLow+numBins)) into a real time-domain symbol body
+// of n samples. Bins outside the data band are zero. The output is
+// scaled so that each active subcarrier contributes unit RMS.
+func (p *fftPlan) synthesize(bins []complex128, binLow int, out []float64) {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	for i, v := range bins {
+		k := binLow + i
+		p.buf[k] = v
+		p.buf[p.n-k] = dsp.Conj(v)
+	}
+	p.plan.Inverse(p.buf, p.buf)
+	// The normalized inverse turns a unit bin into a 2/n-amplitude
+	// cosine; rescale by n/2 so each unit-magnitude subcarrier is a
+	// unit-amplitude cosine in time.
+	scale := float64(p.n) / 2
+	for i := 0; i < p.n; i++ {
+		out[i] = real(p.buf[i]) * scale
+	}
+}
+
+// analyze converts a real symbol body (n samples) into data-bin values
+// with the inverse scaling of synthesize.
+func (p *fftPlan) analyze(body []float64, binLow, numBins int, out []complex128) {
+	for i := 0; i < p.n; i++ {
+		p.buf[i] = complex(body[i], 0)
+	}
+	p.plan.Forward(p.buf, p.buf)
+	// A unit-amplitude cosine at bin k transforms to (n/2) at that
+	// bin, so 2/n makes analyze(synthesize(v)) == v.
+	scale := complex(2/float64(p.n), 0)
+	for i := 0; i < numBins; i++ {
+		out[i] = p.buf[binLow+i] * scale
+	}
+}
+
+// ModulateSymbol builds one OFDM symbol (cyclic prefix + body) from
+// data-bin values. bins must have length NumBins; entries set to 0
+// leave the corresponding subcarrier silent.
+func (m *Modem) ModulateSymbol(bins []complex128) ([]float64, error) {
+	if len(bins) != m.cfg.NumBins() {
+		return nil, fmt.Errorf("modem: %d bin values, want %d", len(bins), m.cfg.NumBins())
+	}
+	n := m.cfg.N()
+	cp := m.cfg.CPLen
+	out := make([]float64, cp+n)
+	m.plan.synthesize(bins, m.cfg.BinLow(), out[cp:])
+	copy(out[:cp], out[cp+n-cp:]) // cyclic prefix = tail of the body
+	return out, nil
+}
+
+// DemodSymbol recovers data-bin values from a received symbol body
+// (exactly N samples, cyclic prefix already stripped).
+func (m *Modem) DemodSymbol(body []float64) ([]complex128, error) {
+	if len(body) != m.cfg.N() {
+		return nil, fmt.Errorf("modem: symbol body %d samples, want %d", len(body), m.cfg.N())
+	}
+	out := make([]complex128, m.cfg.NumBins())
+	m.plan.analyze(body, m.cfg.BinLow(), m.cfg.NumBins(), out)
+	return out, nil
+}
+
+// buildPreamble constructs the 8-symbol preamble: one CAZAC-filled
+// OFDM body repeated with the PN sign pattern. Following the paper the
+// preamble symbols carry no cyclic prefix (detection uses sliding
+// segment correlation, not FFT windows).
+func (m *Modem) buildPreamble() {
+	n := m.cfg.N()
+	body := make([]float64, n)
+	m.plan.synthesize(m.zcBins, m.cfg.BinLow(), body)
+	// Normalize the symbol to unit RMS so transmit power is defined
+	// by the caller's amplitude scaling.
+	rms := dsp.RMS(body)
+	m.preScale = 1
+	if rms > 0 {
+		dsp.Scale(body, 1/rms)
+		m.preScale = 1 / rms
+	}
+	m.preSym = body
+	m.preamble = make([]float64, 0, PreambleSymbols*n)
+	for s := 0; s < PreambleSymbols; s++ {
+		sign := float64(seq.PreamblePN[s%len(seq.PreamblePN)])
+		for _, v := range body {
+			m.preamble = append(m.preamble, sign*v)
+		}
+	}
+}
+
+// TrainingSymbol builds the known training OFDM symbol restricted to
+// the given band (bins outside the band are zero), with cyclic prefix.
+// The same waveform is used by the receiver to estimate the MMSE
+// equalizer and as the differential-coding phase reference.
+func (m *Modem) TrainingSymbol(b Band) ([]float64, error) {
+	if !b.Valid(m.cfg.NumBins()) {
+		return nil, fmt.Errorf("modem: invalid band %+v for %d bins", b, m.cfg.NumBins())
+	}
+	bins := make([]complex128, m.cfg.NumBins())
+	for i := b.Lo; i <= b.Hi; i++ {
+		bins[i] = m.trBins[i]
+	}
+	return m.ModulateSymbol(bins)
+}
+
+// TrainingBins returns the known training constellation restricted to
+// band b (zero outside). The slice is freshly allocated.
+func (m *Modem) TrainingBins(b Band) []complex128 {
+	bins := make([]complex128, m.cfg.NumBins())
+	for i := b.Lo; i <= b.Hi && i < len(m.trBins); i++ {
+		if i >= 0 {
+			bins[i] = m.trBins[i]
+		}
+	}
+	return bins
+}
+
+// PreambleBins returns the CAZAC constellation used by the preamble
+// across all data bins. The slice is freshly allocated.
+func (m *Modem) PreambleBins() []complex128 {
+	return append([]complex128(nil), m.zcBins...)
+}

@@ -1,0 +1,175 @@
+package phy
+
+import (
+	"fmt"
+
+	"aquago/internal/dsp"
+)
+
+// Beacon implements the long-range SoS messaging mode (§3): binary
+// FSK with one tone per symbol, all transmit power concentrated in a
+// single frequency. Slower symbol rates (50/100/200 ms symbols for
+// 20/10/5 bps) integrate longer and reach past 100 m where OFDM
+// cannot.
+type Beacon struct {
+	// SampleRate in Hz (48000).
+	SampleRate int
+	// BitRateBPS is one of 5, 10 or 20 in the paper.
+	BitRateBPS int
+	// F0 and F1 are the tone frequencies for bits 0 and 1, inside the
+	// 1.5-4 kHz band the paper assigns to beacons.
+	F0, F1 float64
+}
+
+// Beacon sync preamble: a fixed 8-bit pattern with good aperiodic
+// autocorrelation under the two-tone alphabet.
+var beaconSync = []int{1, 1, 1, 0, 0, 1, 0, 1}
+
+// SOSIDBits is the ID payload width for SoS beacons (6-bit user ID).
+const SOSIDBits = 6
+
+// NewBeacon returns a beacon codec with the paper's defaults
+// (f0 = 2 kHz, f1 = 3 kHz) at the given bit rate.
+func NewBeacon(bitRate int) (*Beacon, error) {
+	switch bitRate {
+	case 5, 10, 20:
+	default:
+		return nil, fmt.Errorf("phy: beacon rate %d not in {5, 10, 20} bps", bitRate)
+	}
+	return &Beacon{SampleRate: 48000, BitRateBPS: bitRate, F0: 2000, F1: 3000}, nil
+}
+
+// SymbolSamples returns the per-bit duration in samples
+// (50/100/200 ms for 20/10/5 bps).
+func (b *Beacon) SymbolSamples() int { return b.SampleRate / b.BitRateBPS }
+
+// Encode builds the beacon waveform: sync pattern followed by the
+// payload bits, one tone per bit at unit amplitude.
+func (b *Beacon) Encode(bits []int) ([]float64, error) {
+	for _, v := range bits {
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("phy: beacon bit %d out of {0,1}", v)
+		}
+	}
+	all := append(append([]int{}, beaconSync...), bits...)
+	n := b.SymbolSamples()
+	out := make([]float64, 0, len(all)*n)
+	for _, bit := range all {
+		f := b.F0
+		if bit == 1 {
+			f = b.F1
+		}
+		out = append(out, dsp.ToneN(f, n, float64(b.SampleRate))...)
+	}
+	return out, nil
+}
+
+// EncodeID builds an SoS beacon carrying a 6-bit user ID.
+func (b *Beacon) EncodeID(id DeviceID) ([]float64, error) {
+	if id < 0 || int(id) >= 1<<SOSIDBits {
+		return nil, fmt.Errorf("phy: SoS ID %d out of 6-bit range", id)
+	}
+	bits := make([]int, SOSIDBits)
+	for i := 0; i < SOSIDBits; i++ {
+		bits[i] = int(id>>uint(SOSIDBits-1-i)) & 1
+	}
+	return b.Encode(bits)
+}
+
+// Decode synchronizes on the sync pattern and demodulates nBits
+// payload bits from rx. It returns the bits and the detected start
+// offset; ok is false when the sync pattern cannot be located.
+func (b *Beacon) Decode(rx []float64, nBits int) (bits []int, offset int, ok bool) {
+	n := b.SymbolSamples()
+	total := (len(beaconSync) + nBits) * n
+	if len(rx) < total {
+		return nil, 0, false
+	}
+	// Coarse sync: score the sync pattern at a grid of offsets.
+	bestOff, bestScore := -1, 0.0
+	step := n / 8
+	if step < 1 {
+		step = 1
+	}
+	for off := 0; off+total <= len(rx); off += step {
+		score := b.syncScore(rx, off)
+		if score > bestScore {
+			bestScore, bestOff = score, off
+		}
+	}
+	if bestOff < 0 || bestScore < 0.55 {
+		return nil, 0, false
+	}
+	// Fine sync around the coarse peak.
+	fineBest, fineScore := bestOff, bestScore
+	for off := bestOff - step; off <= bestOff+step; off++ {
+		if off < 0 || off+total > len(rx) {
+			continue
+		}
+		if s := b.syncScore(rx, off); s > fineScore {
+			fineScore, fineBest = s, off
+		}
+	}
+	offset = fineBest
+	bits = make([]int, nBits)
+	payloadStart := offset + len(beaconSync)*n
+	for i := 0; i < nBits; i++ {
+		seg := rx[payloadStart+i*n : payloadStart+(i+1)*n]
+		bits[i] = b.demodBit(seg)
+	}
+	return bits, offset, true
+}
+
+// DecodeAligned demodulates nBits starting exactly after the sync
+// pattern at a known offset — the BER harness path (Fig 12d), where
+// alignment is known and only tone discrimination is under test.
+func (b *Beacon) DecodeAligned(rx []float64, offset, nBits int) ([]int, error) {
+	n := b.SymbolSamples()
+	start := offset + len(beaconSync)*n
+	if start+nBits*n > len(rx) {
+		return nil, fmt.Errorf("phy: beacon rx too short")
+	}
+	bits := make([]int, nBits)
+	for i := range bits {
+		bits[i] = b.demodBit(rx[start+i*n : start+(i+1)*n])
+	}
+	return bits, nil
+}
+
+// syncScore measures tone contrast over the sync pattern at the
+// candidate offset: mean of (P_expected - P_other)/(P_expected +
+// P_other) across sync bits. A matching beacon scores near +1; noise
+// (where the two tone powers are statistically equal) scores near 0,
+// so the 0.55 gate rejects it.
+func (b *Beacon) syncScore(rx []float64, off int) float64 {
+	n := b.SymbolSamples()
+	var score float64
+	for i, bit := range beaconSync {
+		seg := rx[off+i*n : off+(i+1)*n]
+		p0 := dsp.GoertzelPower(seg, b.F0, float64(b.SampleRate))
+		p1 := dsp.GoertzelPower(seg, b.F1, float64(b.SampleRate))
+		tot := p0 + p1
+		if tot <= 0 {
+			continue
+		}
+		if bit == 0 {
+			score += (p0 - p1) / tot
+		} else {
+			score += (p1 - p0) / tot
+		}
+	}
+	return score / float64(len(beaconSync))
+}
+
+// demodBit compares tone energies over one symbol.
+func (b *Beacon) demodBit(seg []float64) int {
+	p0 := dsp.GoertzelPower(seg, b.F0, float64(b.SampleRate))
+	p1 := dsp.GoertzelPower(seg, b.F1, float64(b.SampleRate))
+	if p1 > p0 {
+		return 1
+	}
+	return 0
+}
+
+// SyncLen returns the sync pattern length in samples.
+func (b *Beacon) SyncLen() int { return len(beaconSync) * b.SymbolSamples() }

@@ -1,0 +1,120 @@
+package phy
+
+import (
+	"fmt"
+
+	"aquago/internal/fec"
+	"aquago/internal/modem"
+)
+
+// OneShot frames packets without the feedback round: preamble, header
+// tone, then training + data on a pre-agreed band. This is the mode
+// used when the reverse channel is unavailable — encoding to audio
+// files, broadcast messages, or store-and-forward relays. The
+// adaptive protocol (Exchange) outperforms it whenever feedback is
+// possible; the fixed-band experiments quantify by how much.
+type OneShot struct {
+	m     *modem.Modem
+	tones *Tones
+	det   *modem.Detector
+	codec *fec.Codec
+	// Band is the pre-agreed transmission band.
+	Band modem.Band
+	// DataOpts forwards modem ablation switches.
+	DataOpts modem.DataOptions
+}
+
+// NewOneShot builds a one-shot framer on the given band.
+func NewOneShot(m *modem.Modem, band modem.Band) (*OneShot, error) {
+	if !band.Valid(m.Config().NumBins()) {
+		return nil, fmt.Errorf("phy: invalid band %+v", band)
+	}
+	return &OneShot{
+		m:     m,
+		tones: NewTones(m),
+		det:   modem.NewDetector(m),
+		codec: fec.NewCodec(fec.Rate23, fec.TailBiting),
+		Band:  band,
+	}, nil
+}
+
+// Encode builds the complete one-shot waveform for a packet.
+func (o *OneShot) Encode(pkt Packet) ([]float64, error) {
+	idSym, err := o.tones.IDSymbol(pkt.Dst)
+	if err != nil {
+		return nil, err
+	}
+	coded := o.codec.Encode(pkt.PayloadBitSlice())
+	il, err := fec.NewInterleaver(o.Band.Width(), len(coded))
+	if err != nil {
+		return nil, err
+	}
+	grid, err := il.Interleave(coded)
+	if err != nil {
+		return nil, err
+	}
+	data, err := o.m.ModulateData(grid, o.Band, o.DataOpts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, o.m.PreambleLen()+len(idSym)+len(data))
+	out = append(out, o.m.Preamble()...)
+	out = append(out, idSym...)
+	out = append(out, data...)
+	return out, nil
+}
+
+// Decoded is a successfully decoded one-shot packet.
+type Decoded struct {
+	Packet Packet
+	// Offset is where the preamble started in the searched buffer.
+	Offset int
+	// Metric is the preamble detection confidence.
+	Metric float64
+}
+
+// Decode searches rx for a one-shot packet addressed to self (or to
+// anyone when self < 0) and decodes it.
+func (o *OneShot) Decode(rx []float64, self DeviceID) (Decoded, bool) {
+	det, ok := o.det.Detect(rx)
+	if !ok {
+		return Decoded{}, false
+	}
+	hdrOff := det.Offset + o.m.PreambleLen()
+	tone, err := o.tones.DecodeTone(rx, hdrOff)
+	if err != nil {
+		return Decoded{}, false
+	}
+	if self >= 0 && !tone.MatchesTone(int(self)) {
+		return Decoded{}, false
+	}
+	dst := DeviceID(tone.Bin)
+
+	cfg := o.m.Config()
+	dataStart := hdrOff + cfg.SymbolLen()
+	if dataStart >= len(rx) {
+		return Decoded{}, false
+	}
+	codedLen := o.codec.CodedLen(PayloadBits)
+	soft, err := o.m.DemodulateData(rx[dataStart:], o.Band, codedLen, o.DataOpts)
+	if err != nil {
+		return Decoded{}, false
+	}
+	il, err := fec.NewInterleaver(o.Band.Width(), codedLen)
+	if err != nil {
+		return Decoded{}, false
+	}
+	deSoft, err := il.DeinterleaveSoft(soft)
+	if err != nil {
+		return Decoded{}, false
+	}
+	bits, err := o.codec.DecodeSoft(deSoft, PayloadBits)
+	if err != nil {
+		return Decoded{}, false
+	}
+	pkt, err := PacketFromBits(bits, dst, -1)
+	if err != nil {
+		return Decoded{}, false
+	}
+	return Decoded{Packet: pkt, Offset: det.Offset, Metric: det.Metric}, true
+}

@@ -1,0 +1,78 @@
+package phy
+
+import (
+	"testing"
+
+	"aquago/internal/channel"
+	"aquago/internal/modem"
+)
+
+func TestOneShotRoundTripClean(t *testing.T) {
+	m := defaultModem(t)
+	band := modem.Band{Lo: 5, Hi: 40}
+	o, err := NewOneShot(m, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := Packet{Dst: 17, Payload: [2]byte{0xC0, 0xFE}}
+	tx, err := o.Encode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Embed in a longer buffer with leading silence.
+	rx := make([]float64, len(tx)+5000)
+	copy(rx[3000:], tx)
+	dec, ok := o.Decode(rx, 17)
+	if !ok {
+		t.Fatal("one-shot packet not decoded")
+	}
+	if dec.Packet.Payload != pkt.Payload {
+		t.Fatalf("payload %x, want %x", dec.Packet.Payload, pkt.Payload)
+	}
+	if dec.Packet.Dst != 17 {
+		t.Fatalf("dst %d", dec.Packet.Dst)
+	}
+	// Wrong recipient ignores the packet.
+	if _, ok := o.Decode(rx, 18); ok {
+		t.Fatal("packet for 17 decoded by 18")
+	}
+	// Promiscuous mode accepts it.
+	if _, ok := o.Decode(rx, -1); !ok {
+		t.Fatal("promiscuous decode failed")
+	}
+}
+
+func TestOneShotThroughWater(t *testing.T) {
+	m := defaultModem(t)
+	band := modem.Band{Lo: 10, Hi: 45}
+	o, err := NewOneShot(m, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := channel.NewLink(channel.LinkParams{
+		Env: channel.Bridge, DistanceM: 5, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := Packet{Dst: 3, Payload: [2]byte{0x5A, 0xA5}}
+	tx, err := o.Encode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := link.Transmit(tx)
+	dec, ok := o.Decode(rx, 3)
+	if !ok {
+		t.Fatal("one-shot packet lost through 5 m bridge water")
+	}
+	if dec.Packet.Payload != pkt.Payload {
+		t.Fatalf("payload corrupted: %x", dec.Packet.Payload)
+	}
+}
+
+func TestOneShotBandValidation(t *testing.T) {
+	m := defaultModem(t)
+	if _, err := NewOneShot(m, modem.Band{Lo: 50, Hi: 70}); err == nil {
+		t.Fatal("invalid band accepted")
+	}
+}

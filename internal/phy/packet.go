@@ -1,0 +1,38 @@
+package phy
+
+import (
+	"fmt"
+
+	"aquago/internal/fec"
+)
+
+// PayloadBits is the paper's packet payload: 16 data bits (two hand
+// signals), which the 2/3 convolutional code expands to 24 coded bits.
+const PayloadBits = 16
+
+// Packet is one application packet.
+type Packet struct {
+	// Dst addresses the receiver (header tone).
+	Dst DeviceID
+	// Src identifies the sender (used by the ACK path and the MAC).
+	Src DeviceID
+	// Payload carries PayloadBits bits as 2 bytes.
+	Payload [2]byte
+}
+
+// PayloadBitSlice expands the payload into a bit slice (MSB first).
+func (p Packet) PayloadBitSlice() []int {
+	return fec.BitsFromBytes(p.Payload[:])
+}
+
+// PacketFromBits reassembles a payload from decoded bits.
+func PacketFromBits(bits []int, dst, src DeviceID) (Packet, error) {
+	if len(bits) != PayloadBits {
+		return Packet{}, fmt.Errorf("phy: payload must be %d bits, got %d", PayloadBits, len(bits))
+	}
+	b := fec.BytesFromBits(bits)
+	var pkt Packet
+	pkt.Dst, pkt.Src = dst, src
+	copy(pkt.Payload[:], b)
+	return pkt, nil
+}

@@ -1,0 +1,419 @@
+package phy
+
+import (
+	"errors"
+	"fmt"
+
+	"aquago/internal/adapt"
+	"aquago/internal/channel"
+	"aquago/internal/dsp"
+	"aquago/internal/fec"
+	"aquago/internal/modem"
+)
+
+// Medium abstracts the two directions of one conversation so the
+// protocol can run over the channel simulator, recorded audio, or the
+// multi-node medium in package sim. atS is the virtual transmit time
+// in seconds, letting time-varying channels evolve between protocol
+// stages exactly as they do between real transmissions.
+type Medium interface {
+	// Forward carries Alice -> Bob.
+	Forward(tx []float64, atS float64) []float64
+	// Backward carries Bob -> Alice.
+	Backward(tx []float64, atS float64) []float64
+}
+
+// ChannelMedium adapts a forward/backward pair of channel links.
+type ChannelMedium struct {
+	F, B *channel.Link
+}
+
+// NewChannelMedium builds the forward link from p and derives the
+// (non-reciprocal) backward link from it.
+func NewChannelMedium(p channel.LinkParams) (*ChannelMedium, error) {
+	f, err := channel.NewLink(p)
+	if err != nil {
+		return nil, err
+	}
+	b, err := f.Reverse()
+	if err != nil {
+		return nil, err
+	}
+	return &ChannelMedium{F: f, B: b}, nil
+}
+
+// Forward implements Medium.
+func (c *ChannelMedium) Forward(tx []float64, atS float64) []float64 {
+	return c.F.TransmitAt(tx, atS)
+}
+
+// Backward implements Medium.
+func (c *ChannelMedium) Backward(tx []float64, atS float64) []float64 {
+	return c.B.TransmitAt(tx, atS)
+}
+
+// Options configures one protocol instance.
+type Options struct {
+	// FixedBand, when non-nil, disables adaptation and transmits on
+	// this band (the paper's fixed-bandwidth baselines: 60, 30 and 10
+	// bins).
+	FixedBand *modem.Band
+	// DataOpts forwards ablation switches to the modem data path.
+	DataOpts modem.DataOptions
+	// HardDecision feeds the Viterbi decoder hard bit decisions
+	// instead of soft reliabilities. Soft decoding lets the decoder
+	// discount subcarriers in deep fades; hard decoding (the likely
+	// configuration of the paper's implementation) makes wide fixed
+	// bands fail exactly the way Fig 9d/12c report.
+	HardDecision bool
+	// SkipACK omits the acknowledgment round.
+	SkipACK bool
+	// ProcessingGapSymbols is Alice's silence between the header and
+	// the data section (covers Bob's feedback and processing; the
+	// paper estimates ~5 symbol intervals).
+	ProcessingGapSymbols int
+}
+
+// Protocol runs the AquaApp packet exchange. Construct with New.
+type Protocol struct {
+	m     *modem.Modem
+	sel   *adapt.Selector
+	fb    *adapt.Feedback
+	tones *Tones
+	det   *modem.Detector
+	codec *fec.Codec
+	opts  Options
+}
+
+// New builds a protocol instance with the paper's component settings.
+func New(m *modem.Modem, opts Options) *Protocol {
+	if opts.ProcessingGapSymbols <= 0 {
+		opts.ProcessingGapSymbols = 5
+	}
+	return &Protocol{
+		m:     m,
+		sel:   adapt.NewSelector(),
+		fb:    adapt.NewFeedback(m),
+		tones: NewTones(m),
+		det:   modem.NewDetector(m),
+		codec: fec.NewCodec(fec.Rate23, fec.TailBiting),
+		opts:  opts,
+	}
+}
+
+// Modem exposes the underlying modem (experiments need its config).
+func (p *Protocol) Modem() *modem.Modem { return p.m }
+
+// Selector exposes the band selector for parameter ablations.
+func (p *Protocol) Selector() *adapt.Selector { return p.sel }
+
+// Result reports everything that happened during one packet exchange,
+// with the per-stage detail the paper's evaluation plots require.
+type Result struct {
+	// PreambleDetected: Bob's two-stage detector fired.
+	PreambleDetected bool
+	// DetectMetric is the sliding-correlation peak.
+	DetectMetric float64
+	// HeaderOK: the header tone matched Bob's device ID.
+	HeaderOK bool
+	// SNRdB is Bob's per-subcarrier estimate from the preamble.
+	SNRdB []float64
+	// BandOK: the adaptation algorithm found a feasible band.
+	BandOK bool
+	// Band is Bob's selected (or the fixed) band.
+	Band modem.Band
+	// FeedbackDecoded: Alice recovered a band from the feedback
+	// symbol; FeedbackBand is what she recovered (it may differ from
+	// Band — that mismatch is a real error mode the paper measures at
+	// ~1 %).
+	FeedbackDecoded bool
+	FeedbackBand    modem.Band
+	// BitrateBPS is the information rate implied by the used band.
+	BitrateBPS float64
+	// CodedBits/CodedErrors: pre-Viterbi (channel) bit statistics.
+	CodedBits, CodedErrors int
+	// InfoErrors: post-Viterbi payload bit errors.
+	InfoErrors int
+	// Delivered: payload decoded exactly.
+	Delivered bool
+	// ACKReceived: Alice heard Bob's ACK.
+	ACKReceived bool
+}
+
+// PER-style helpers.
+
+// Failed reports packet failure (any payload bit error or an aborted
+// exchange) — the paper's packet error definition.
+func (r Result) Failed() bool { return !r.Delivered }
+
+// ErrNoBand is reported via Result (BandOK=false) when even a single
+// subcarrier cannot clear the SNR threshold; exported for tests.
+var ErrNoBand = errors.New("phy: no feasible frequency band")
+
+// Exchange runs one full packet exchange over the medium starting at
+// virtual time atS, returning per-stage results. Bob is addressed by
+// pkt.Dst; ground-truth payload bits allow exact BER accounting.
+func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error) {
+	var res Result
+	cfg := p.m.Config()
+	fs := float64(cfg.SampleRate)
+	now := atS
+
+	// ---- Stage 1: Alice sends preamble + header. ----
+	idSym, err := p.tones.IDSymbol(pkt.Dst)
+	if err != nil {
+		return res, err
+	}
+	tx1 := make([]float64, 0, p.m.PreambleLen()+len(idSym))
+	tx1 = append(tx1, p.m.Preamble()...)
+	tx1 = append(tx1, idSym...)
+	rxBob := med.Forward(tx1, now)
+	now += float64(len(tx1)) / fs
+
+	det, ok := p.det.Detect(rxBob)
+	res.PreambleDetected = ok
+	res.DetectMetric = det.Metric
+	if !ok {
+		return res, nil
+	}
+	// Header check: scan offsets across the symbol's cyclic prefix so
+	// multipath timing skew cannot hide the ID tone, accepting either
+	// any single matching window or the scan-integrated decision.
+	hdrOff := det.Offset + p.m.PreambleLen()
+	var hdrOffsets []int
+	for delta := -cfg.CPLen; delta <= cfg.CPLen; delta += 8 {
+		hdrOffsets = append(hdrOffsets, hdrOff+delta)
+		hdr, err := p.tones.DecodeTone(rxBob, hdrOff+delta)
+		if err == nil && hdr.MatchesTone(int(pkt.Dst)) {
+			res.HeaderOK = true
+		}
+	}
+	if !res.HeaderOK {
+		if agg, err := p.tones.DecodeToneIntegrated(rxBob, hdrOffsets); err == nil &&
+			agg.MatchesTone(int(pkt.Dst)) {
+			res.HeaderOK = true
+		}
+	}
+	if !res.HeaderOK {
+		return res, nil
+	}
+
+	// ---- Stage 2: Bob estimates SNR and selects the band. ----
+	preEnd := det.Offset + p.m.PreambleLen()
+	if preEnd > len(rxBob) {
+		return res, nil
+	}
+	est, err := p.m.EstimateChannel(rxBob[det.Offset:preEnd])
+	if err != nil {
+		return res, err
+	}
+	res.SNRdB = est.SNRdB
+	var band modem.Band
+	if p.opts.FixedBand != nil {
+		band = *p.opts.FixedBand
+		res.BandOK = true
+	} else {
+		band, ok = p.sel.Select(est.SNRdB)
+		res.BandOK = ok
+		if !ok {
+			return res, nil
+		}
+	}
+	res.Band = band
+	res.BitrateBPS = adapt.BitrateBPS(band, cfg, 2.0/3.0)
+
+	// ---- Stage 3: Bob sends feedback; Alice decodes it. ----
+	usedBand := band
+	if p.opts.FixedBand == nil {
+		fbSym, err := p.fb.Encode(band)
+		if err != nil {
+			return res, err
+		}
+		rxAlice := med.Backward(fbSym, now)
+		now += float64(len(fbSym)) / fs
+		got, ok := p.fb.Decode(rxAlice, cfg.N(), 8)
+		res.FeedbackDecoded = ok
+		if !ok {
+			return res, nil
+		}
+		res.FeedbackBand = got
+		usedBand = got // Alice transmits on what she heard
+	} else {
+		res.FeedbackDecoded = true
+		res.FeedbackBand = band
+	}
+
+	// ---- Stage 4: Alice transmits the data section. ----
+	now += float64(p.opts.ProcessingGapSymbols*cfg.SymbolLen()) / fs
+	payload := pkt.PayloadBitSlice()
+	coded := p.codec.Encode(payload)
+	il, err := fec.NewInterleaver(usedBand.Width(), len(coded))
+	if err != nil {
+		return res, err
+	}
+	grid, err := il.Interleave(coded)
+	if err != nil {
+		return res, err
+	}
+	dataTx, err := p.m.ModulateData(grid, usedBand, p.opts.DataOpts)
+	if err != nil {
+		return res, err
+	}
+	rxData := med.Forward(dataTx, now)
+	now += float64(len(dataTx)) / fs
+
+	// ---- Stage 5: Bob locates and decodes the data. ----
+	// Bob expects the data on *his* selected band; if Alice used a
+	// different band (feedback error) decoding degrades — that is the
+	// real failure mode.
+	start := p.findDataStart(rxData, band)
+	soft, err := p.m.DemodulateData(rxData[start:], band, len(grid), p.opts.DataOpts)
+	if err != nil {
+		return res, nil // too short after sync error: packet lost
+	}
+	// Pre-Viterbi accounting against ground truth.
+	if band == usedBand {
+		hard := modem.HardBits(soft)
+		res.CodedBits = len(grid)
+		for i := range grid {
+			if hard[i] != grid[i] {
+				res.CodedErrors++
+			}
+		}
+	}
+	ilBob, err := fec.NewInterleaver(band.Width(), p.codec.CodedLen(PayloadBits))
+	if err != nil {
+		return res, err
+	}
+	deSoft, err := ilBob.DeinterleaveSoft(soft)
+	if err != nil {
+		return res, err
+	}
+	if p.opts.HardDecision {
+		for i, v := range deSoft {
+			if v >= 0 {
+				deSoft[i] = 1
+			} else {
+				deSoft[i] = -1
+			}
+		}
+	}
+	decoded, err := p.codec.DecodeSoft(deSoft, PayloadBits)
+	if err != nil {
+		return res, err
+	}
+	for i := range payload {
+		if decoded[i] != payload[i] {
+			res.InfoErrors++
+		}
+	}
+	res.Delivered = res.InfoErrors == 0
+
+	// ---- Stage 6: Bob ACKs. ----
+	if !p.opts.SkipACK && res.Delivered {
+		ackSym, err := p.tones.ACKSymbol()
+		if err != nil {
+			return res, err
+		}
+		rxAck := med.Backward(ackSym, now)
+		res.ACKReceived = p.tones.DetectACK(rxAck, 0.3)
+	}
+	return res, nil
+}
+
+// findDataStart cross-correlates the received data section against the
+// band-limited training waveform to locate the first sample of the
+// training symbol (the paper's "cross-correlation and energy detection
+// in every OFDM symbol interval").
+func (p *Protocol) findDataStart(rx []float64, band modem.Band) int {
+	ref, err := p.m.TrainingSymbol(band)
+	if err != nil {
+		return 0
+	}
+	searchLen := min(len(rx), len(ref)+2*p.m.Config().SymbolLen())
+	if searchLen <= len(ref) {
+		return 0
+	}
+	corr := dsp.NormalizedCrossCorrelate(rx[:searchLen], ref)
+	best := dsp.ArgMax(corr)
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// ProbeChannelStability runs the Fig 16 experiment primitive: Alice
+// sends a preamble, Bob selects a band; after gapS seconds (the
+// feedback/processing interval) Alice sends a second preamble and Bob
+// reports the minimum SNR inside the previously selected band. The
+// returned ok is false if detection or selection failed.
+func (p *Protocol) ProbeChannelStability(med Medium, atS, gapS float64) (minSNR float64, band modem.Band, ok bool) {
+	rx1 := med.Forward(p.m.Preamble(), atS)
+	det1, found := p.det.Detect(rx1)
+	if !found {
+		return 0, band, false
+	}
+	end1 := det1.Offset + p.m.PreambleLen()
+	if end1 > len(rx1) {
+		return 0, band, false
+	}
+	est1, err := p.m.EstimateChannel(rx1[det1.Offset:end1])
+	if err != nil {
+		return 0, band, false
+	}
+	band, found = p.sel.Select(est1.SNRdB)
+	if !found {
+		return 0, band, false
+	}
+	rx2 := med.Forward(p.m.Preamble(), atS+gapS)
+	det2, found := p.det.Detect(rx2)
+	if !found {
+		return 0, band, false
+	}
+	end2 := det2.Offset + p.m.PreambleLen()
+	if end2 > len(rx2) {
+		return 0, band, false
+	}
+	est2, err := p.m.EstimateChannel(rx2[det2.Offset:end2])
+	if err != nil {
+		return 0, band, false
+	}
+	// Report the SNR the data transmission would see: raw subcarrier
+	// SNR plus the power-reallocation gain of the selected band (the
+	// data concentrates full transmit power into band.Width() bins).
+	gain := p.sel.EffectiveSNR(0, band.Width(), p.m.Config().NumBins())
+	return est2.MinSNRInBand(band) + gain, band, true
+}
+
+// PacketAirtimeS estimates the on-air duration of one full exchange
+// for a given band (preamble + header + gap + data + ACK), used by
+// the MAC's backoff quantum.
+func (p *Protocol) PacketAirtimeS(band modem.Band) float64 {
+	cfg := p.m.Config()
+	fs := float64(cfg.SampleRate)
+	n := p.m.PreambleLen() // preamble
+	n += cfg.SymbolLen()   // header
+	n += p.opts.ProcessingGapSymbols * cfg.SymbolLen()
+	n += cfg.SymbolLen() // feedback
+	n += p.m.DataLen(p.codec.CodedLen(PayloadBits), band)
+	n += cfg.SymbolLen() // ACK
+	return float64(n) / fs
+}
+
+// String summarizes a result for logs.
+func (r Result) String() string {
+	switch {
+	case !r.PreambleDetected:
+		return "lost:preamble"
+	case !r.HeaderOK:
+		return "lost:header"
+	case !r.BandOK:
+		return "lost:no-band"
+	case !r.FeedbackDecoded:
+		return "lost:feedback"
+	case !r.Delivered:
+		return fmt.Sprintf("error:%d-bit", r.InfoErrors)
+	default:
+		return fmt.Sprintf("ok:%.0fbps", r.BitrateBPS)
+	}
+}

@@ -1,0 +1,293 @@
+package phy
+
+import (
+	"fmt"
+
+	"aquago/internal/adapt"
+	"aquago/internal/audio"
+	"aquago/internal/dsp"
+	"aquago/internal/fec"
+	"aquago/internal/modem"
+)
+
+// Receiver is the streaming receive path: it consumes microphone audio
+// chunk by chunk (as the phone app does — preamble detection runs
+// continuously in real time), tracks protocol state across chunks, and
+// emits decoded packets and the feedback symbols a transmitter needs.
+//
+// Feed audio with Push; collect events with Events. The receiver
+// never blocks: all work happens inside Push on the caller's
+// goroutine, bounded per chunk.
+type Receiver struct {
+	m     *modem.Modem
+	det   *modem.Detector
+	sel   *adapt.Selector
+	fb    *adapt.Feedback
+	tones *Tones
+	codec *fec.Codec
+	self  DeviceID
+
+	buf    *audio.Ring
+	window []float64 // working copy of buffered audio
+	// consumed counts samples dropped from the front of the stream.
+	consumed int64
+
+	state    rxState
+	band     modem.Band
+	expected int // samples still needed before the next stage can run
+
+	events []Event
+}
+
+type rxState int
+
+const (
+	rxHunting rxState = iota // searching for a preamble
+	rxData                   // synchronized, waiting for the data section
+)
+
+// EventKind tags receiver events.
+type EventKind int
+
+const (
+	// EventPreamble: a preamble addressed to this device was detected
+	// and a band selected; Feedback holds the symbol to transmit back.
+	EventPreamble EventKind = iota
+	// EventPacket: a data section decoded into a packet.
+	EventPacket
+	// EventIgnored: a preamble for another device passed by.
+	EventIgnored
+)
+
+// Event is one receiver output.
+type Event struct {
+	Kind EventKind
+	// Packet is set for EventPacket.
+	Packet Packet
+	// Band is the selected band (EventPreamble, EventPacket).
+	Band modem.Band
+	// Feedback is the waveform to transmit back (EventPreamble).
+	Feedback []float64
+	// Metric is the detection confidence (EventPreamble).
+	Metric float64
+	// StreamPos is the absolute sample position of the event.
+	StreamPos int64
+}
+
+// NewReceiver builds a streaming receiver for device self. bufSeconds
+// bounds the audio history kept (>= 2 s recommended: preamble +
+// header + data at the narrowest band).
+func NewReceiver(m *modem.Modem, self DeviceID, bufSeconds float64) (*Receiver, error) {
+	if bufSeconds <= 0 {
+		bufSeconds = 4
+	}
+	capacity := int(bufSeconds * float64(m.Config().SampleRate))
+	ring, err := audio.NewRing(capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{
+		m:     m,
+		det:   modem.NewDetector(m),
+		sel:   adapt.NewSelector(),
+		fb:    adapt.NewFeedback(m),
+		tones: NewTones(m),
+		codec: fec.NewCodec(fec.Rate23, fec.TailBiting),
+		self:  self,
+		buf:   ring,
+	}, nil
+}
+
+// Push feeds a chunk of received audio and processes as much of the
+// stream as possible.
+func (r *Receiver) Push(samples []float64) {
+	r.buf.Write(samples)
+	for r.step() {
+	}
+}
+
+// Events drains and returns accumulated events.
+func (r *Receiver) Events() []Event {
+	out := r.events
+	r.events = nil
+	return out
+}
+
+// step runs one state transition; false means more audio is needed.
+func (r *Receiver) step() bool {
+	switch r.state {
+	case rxHunting:
+		return r.hunt()
+	case rxData:
+		return r.decodeData()
+	default:
+		return false
+	}
+}
+
+// minHunt is the least audio worth scanning: preamble + header.
+func (r *Receiver) minHunt() int {
+	return r.m.PreambleLen() + r.m.Config().SymbolLen()
+}
+
+// loadWindow snapshots the ring into the working buffer.
+func (r *Receiver) loadWindow() []float64 {
+	n := r.buf.Len()
+	if cap(r.window) < n {
+		r.window = make([]float64, n)
+	}
+	r.window = r.window[:n]
+	r.buf.Peek(r.window)
+	return r.window
+}
+
+func (r *Receiver) hunt() bool {
+	if r.buf.Len() < r.minHunt() {
+		return false
+	}
+	w := r.loadWindow()
+	det, ok := r.det.Detect(w)
+	if !ok {
+		// Nothing in this window; keep one preamble length of tail
+		// (a preamble could be straddling the chunk boundary).
+		keep := r.m.PreambleLen() + r.m.Config().SymbolLen()
+		if drop := len(w) - keep; drop > 0 {
+			r.buf.Discard(drop)
+			r.consumed += int64(drop)
+		}
+		return false
+	}
+	// Need the full preamble + header beyond the detection offset.
+	need := det.Offset + r.m.PreambleLen() + r.m.Config().SymbolLen()
+	if len(w) < need {
+		return false // wait for more audio
+	}
+	// Header: addressed to us?
+	hdrOff := det.Offset + r.m.PreambleLen()
+	var offsets []int
+	cp := r.m.Config().CPLen
+	for delta := -cp; delta <= cp; delta += 8 {
+		offsets = append(offsets, hdrOff+delta)
+	}
+	dec, err := r.tones.DecodeToneIntegrated(w, offsets)
+	matches := err == nil && dec.MatchesTone(int(r.self))
+	if !matches {
+		r.events = append(r.events, Event{
+			Kind: EventIgnored, Metric: det.Metric,
+			StreamPos: r.consumed + int64(det.Offset),
+		})
+		drop := det.Offset + r.m.PreambleLen()
+		r.buf.Discard(drop)
+		r.consumed += int64(drop)
+		return true
+	}
+	// Estimate, select, emit feedback.
+	est, err := r.m.EstimateChannel(w[det.Offset : det.Offset+r.m.PreambleLen()])
+	if err != nil {
+		return false
+	}
+	band, ok := r.sel.Select(est.SNRdB)
+	if !ok {
+		// No feasible band: skip this packet.
+		drop := det.Offset + r.m.PreambleLen()
+		r.buf.Discard(drop)
+		r.consumed += int64(drop)
+		return true
+	}
+	fbSym, err := r.fb.Encode(band)
+	if err != nil {
+		return false
+	}
+	r.band = band
+	r.state = rxData
+	// Budget: the transmitter's processing gap (silence) plus the
+	// data section itself, with margin for timing skew.
+	r.expected = r.m.DataLen(r.codec.CodedLen(PayloadBits), band) + 10*r.m.Config().SymbolLen()
+	r.events = append(r.events, Event{
+		Kind: EventPreamble, Band: band, Feedback: fbSym,
+		Metric: det.Metric, StreamPos: r.consumed + int64(det.Offset),
+	})
+	// Drop everything through the header; the data section follows.
+	drop := det.Offset + r.m.PreambleLen() + r.m.Config().SymbolLen()
+	r.buf.Discard(drop)
+	r.consumed += int64(drop)
+	return true
+}
+
+func (r *Receiver) decodeData() bool {
+	if r.buf.Len() < r.expected {
+		return false
+	}
+	w := r.loadWindow()
+	codedLen := r.codec.CodedLen(PayloadBits)
+	start, corrOK := findDataStartIn(r.m, w, r.band)
+	r.state = rxHunting
+	if !corrOK {
+		return true // training symbol never arrived; resume hunting
+	}
+	soft, err := r.m.DemodulateData(w[start:], r.band, codedLen, modem.DataOptions{})
+	if err != nil {
+		return true // resume hunting; the data never arrived intact
+	}
+	il, err := fec.NewInterleaver(r.band.Width(), codedLen)
+	if err != nil {
+		return true
+	}
+	deSoft, err := il.DeinterleaveSoft(soft)
+	if err != nil {
+		return true
+	}
+	bits, err := r.codec.DecodeSoft(deSoft, PayloadBits)
+	if err != nil {
+		return true
+	}
+	pkt, err := PacketFromBits(bits, r.self, -1)
+	if err != nil {
+		return true
+	}
+	r.events = append(r.events, Event{
+		Kind: EventPacket, Packet: pkt, Band: r.band,
+		StreamPos: r.consumed + int64(start),
+	})
+	drop := start + r.m.DataLen(codedLen, r.band)
+	if drop > len(w) {
+		drop = len(w)
+	}
+	r.buf.Discard(drop)
+	r.consumed += int64(drop)
+	return true
+}
+
+// findDataStartIn mirrors the protocol's training-symbol correlation
+// search over a standalone buffer. ok is false when no window
+// correlates plausibly with the training waveform (pure noise).
+func findDataStartIn(m *modem.Modem, rx []float64, band modem.Band) (start int, ok bool) {
+	ref, err := m.TrainingSymbol(band)
+	if err != nil {
+		return 0, false
+	}
+	searchLen := min(len(rx), len(ref)+10*m.Config().SymbolLen())
+	if searchLen <= len(ref) {
+		return 0, false
+	}
+	corr := dsp.NormalizedCrossCorrelate(rx[:searchLen], ref)
+	best := dsp.ArgMax(corr)
+	if best < 0 || corr[best] < 0.15 {
+		return 0, false
+	}
+	return best, true
+}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventPreamble:
+		return "preamble"
+	case EventPacket:
+		return "packet"
+	case EventIgnored:
+		return "ignored"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}

@@ -1,0 +1,194 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+
+	"aquago/internal/adapt"
+	"aquago/internal/channel"
+	"aquago/internal/fec"
+	"aquago/internal/modem"
+)
+
+// buildExchangeAudio renders the receive-side audio of one full
+// exchange: preamble+header, then (after a gap) the data section on
+// the band the receiver will select. Returns the audio and the band
+// used for the data. The helper runs selection itself by peeking at
+// the receiver's first pass.
+func buildExchangeAudio(t *testing.T, m *modem.Modem, link *channel.Link, dst DeviceID, payload [2]byte) ([]float64, modem.Band) {
+	t.Helper()
+	tones := NewTones(m)
+	idSym, err := tones.IDSymbol(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx1 := append(append([]float64{}, m.Preamble()...), idSym...)
+	rx1 := link.TransmitAt(tx1, 0)
+
+	// What band will the receiver pick? Run the same estimation.
+	det := modem.NewDetector(m)
+	d, ok := det.Detect(rx1)
+	if !ok {
+		t.Fatal("helper: preamble undetectable")
+	}
+	est, err := m.EstimateChannel(rx1[d.Offset : d.Offset+m.PreambleLen()])
+	if err != nil {
+		t.Fatal(err)
+	}
+	band, ok := adapt.NewSelector().Select(est.SNRdB)
+	if !ok {
+		t.Fatal("helper: no band")
+	}
+
+	codec := fec.NewCodec(fec.Rate23, fec.TailBiting)
+	pkt := Packet{Dst: dst, Payload: payload}
+	coded := codec.Encode(pkt.PayloadBitSlice())
+	il, err := fec.NewInterleaver(band.Width(), len(coded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := il.Interleave(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataTx, err := m.ModulateData(grid, band, modem.DataOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx2 := link.TransmitAt(dataTx, 0.5)
+
+	// Stitch: rx1, a short silent gap, rx2, then trailing quiet — a
+	// real microphone stream keeps running after the packet.
+	gap := make([]float64, 6*m.Config().SymbolLen())
+	tail := make([]float64, 16*m.Config().SymbolLen())
+	audio := append(append(append(append([]float64{}, rx1...), gap...), rx2...), tail...)
+	return audio, band
+}
+
+func TestReceiverStreamingDecode(t *testing.T) {
+	m := defaultModem(t)
+	link, err := channel.NewLink(channel.LinkParams{Env: channel.Bridge, DistanceM: 5, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := [2]byte{0xBE, 0xEF}
+	stream, wantBand := buildExchangeAudio(t, m, link, 7, payload)
+
+	rx, err := NewReceiver(m, 7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed in awkward chunk sizes, as an audio callback would.
+	rng := rand.New(rand.NewSource(92))
+	var events []Event
+	for start := 0; start < len(stream); {
+		end := start + 800 + rng.Intn(2400)
+		if end > len(stream) {
+			end = len(stream)
+		}
+		rx.Push(stream[start:end])
+		events = append(events, rx.Events()...)
+		start = end
+	}
+	var gotPreamble, gotPacket bool
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventPreamble:
+			gotPreamble = true
+			if ev.Band != wantBand {
+				t.Fatalf("receiver selected %+v, helper predicted %+v", ev.Band, wantBand)
+			}
+			if len(ev.Feedback) == 0 {
+				t.Fatal("no feedback waveform emitted")
+			}
+		case EventPacket:
+			gotPacket = true
+			if ev.Packet.Payload != payload {
+				t.Fatalf("payload %x, want %x", ev.Packet.Payload, payload)
+			}
+		}
+	}
+	if !gotPreamble {
+		t.Fatal("no preamble event")
+	}
+	if !gotPacket {
+		t.Fatal("no packet event")
+	}
+}
+
+func TestReceiverIgnoresOtherDestinations(t *testing.T) {
+	m := defaultModem(t)
+	link, err := channel.NewLink(channel.LinkParams{Env: channel.Bridge, DistanceM: 5, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := buildExchangeAudio(t, m, link, 12, [2]byte{1, 2})
+	rx, err := NewReceiver(m, 33, 6) // we are 33; packet is for 12
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Push(stream)
+	for _, ev := range rx.Events() {
+		if ev.Kind == EventPacket || ev.Kind == EventPreamble {
+			t.Fatalf("packet for 12 produced %v event at device 33", ev.Kind)
+		}
+	}
+}
+
+func TestReceiverSurvivesNoiseOnlyStream(t *testing.T) {
+	m := defaultModem(t)
+	rx, err := NewReceiver(m, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(94))
+	for chunk := 0; chunk < 40; chunk++ {
+		buf := make([]float64, 4800)
+		for i := range buf {
+			buf[i] = rng.NormFloat64()
+		}
+		rx.Push(buf)
+	}
+	for _, ev := range rx.Events() {
+		if ev.Kind == EventPacket {
+			t.Fatal("noise decoded into a packet")
+		}
+	}
+}
+
+func TestReceiverBackToBackPackets(t *testing.T) {
+	m := defaultModem(t)
+	link, err := channel.NewLink(channel.LinkParams{Env: channel.Bridge, DistanceM: 5, Seed: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := buildExchangeAudio(t, m, link, 7, [2]byte{0x11, 0x22})
+	s2, _ := buildExchangeAudio(t, m, link, 7, [2]byte{0x33, 0x44})
+	gap := make([]float64, 48000/2)
+	stream := append(append(append([]float64{}, s1...), gap...), s2...)
+
+	rx, err := NewReceiver(m, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx.Push(stream)
+	var payloads [][2]byte
+	for _, ev := range rx.Events() {
+		if ev.Kind == EventPacket {
+			payloads = append(payloads, ev.Packet.Payload)
+		}
+	}
+	if len(payloads) != 2 {
+		t.Fatalf("decoded %d packets, want 2", len(payloads))
+	}
+	if payloads[0] != [2]byte{0x11, 0x22} || payloads[1] != [2]byte{0x33, 0x44} {
+		t.Fatalf("payloads %x", payloads)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventPreamble.String() != "preamble" || EventPacket.String() != "packet" ||
+		EventIgnored.String() != "ignored" {
+		t.Fatal("EventKind.String")
+	}
+}

@@ -1,0 +1,181 @@
+// Package phy assembles the modem, adaptation and FEC layers into
+// AquaApp's packet protocol (Fig 5 of the paper): preamble + header
+// with receiver ID, post-preamble feedback carrying the selected
+// band, the training + data section, and single-tone ACKs. It also
+// implements the long-range FSK SoS beacon (§3).
+package phy
+
+import (
+	"fmt"
+
+	"aquago/internal/dsp"
+	"aquago/internal/modem"
+)
+
+// MaxDeviceID is the number of addressable devices: one per OFDM data
+// subcarrier (the paper's 60-user limit).
+const MaxDeviceID = 60
+
+// DeviceID is a local network address in [0, MaxDeviceID).
+type DeviceID int
+
+// Valid reports whether the ID is in range for the modem config.
+func (id DeviceID) Valid(cfg modem.Config) bool {
+	return id >= 0 && int(id) < cfg.NumBins() && int(id) < MaxDeviceID
+}
+
+// Tones encodes and decodes the protocol's single-tone OFDM symbols:
+// device IDs (header, addressing) and ACKs. Allocating the entire
+// symbol power to one subcarrier makes these reliable without channel
+// knowledge.
+type Tones struct {
+	m *modem.Modem
+}
+
+// NewTones returns a tone codec for the modem.
+func NewTones(m *modem.Modem) *Tones { return &Tones{m: m} }
+
+// ackBin is the data-bin index of the ACK tone: the paper assigns the
+// OFDM bin at 1 kHz, which is data bin 0 in the default numerology.
+const ackBin = 0
+
+// IDSymbol builds the header symbol addressing dst: all power on the
+// dst-th data subcarrier.
+func (t *Tones) IDSymbol(dst DeviceID) ([]float64, error) {
+	if !dst.Valid(t.m.Config()) {
+		return nil, fmt.Errorf("phy: device ID %d out of range", dst)
+	}
+	return t.tone(int(dst))
+}
+
+// ACKSymbol builds the acknowledgment symbol (all power at 1 kHz).
+func (t *Tones) ACKSymbol() ([]float64, error) { return t.tone(ackBin) }
+
+func (t *Tones) tone(bin int) ([]float64, error) {
+	bins := make([]complex128, t.m.Config().NumBins())
+	bins[bin] = 1
+	sym, err := t.m.ModulateSymbol(bins)
+	if err != nil {
+		return nil, err
+	}
+	rms := dsp.RMS(sym)
+	if rms > 0 {
+		dsp.Scale(sym, 1/rms)
+	}
+	return sym, nil
+}
+
+// ToneDecision reports what DecodeTone saw in one symbol window.
+type ToneDecision struct {
+	// Bin is the strongest data subcarrier.
+	Bin int
+	// Fraction is the tone's share of total bin power (near 1 for a
+	// clean tone, ~0.08 for Gaussian noise over 60 bins).
+	Fraction float64
+	// Prominence is the tone power over the median bin power — robust
+	// when the tone sits in a channel notch but other bins only carry
+	// noise.
+	Prominence float64
+}
+
+// DecodeTone finds the dominant subcarrier in a received symbol whose
+// body starts at rx[offset+CPLen].
+func (t *Tones) DecodeTone(rx []float64, offset int) (ToneDecision, error) {
+	cfg := t.m.Config()
+	start := offset + cfg.CPLen
+	if start < 0 || start+cfg.N() > len(rx) {
+		return ToneDecision{}, fmt.Errorf("phy: tone symbol out of bounds (offset %d, len %d)", offset, len(rx))
+	}
+	bins, err := t.m.DemodSymbol(rx[start : start+cfg.N()])
+	if err != nil {
+		return ToneDecision{}, err
+	}
+	powers := make([]float64, len(bins))
+	var total, best float64
+	bestBin := 0
+	for i, v := range bins {
+		p := dsp.CAbs2(v)
+		powers[i] = p
+		total += p
+		if p > best {
+			best, bestBin = p, i
+		}
+	}
+	if total <= 0 {
+		return ToneDecision{}, nil
+	}
+	med := dsp.Median(powers)
+	prom := best / (med + 1e-30)
+	return ToneDecision{Bin: bestBin, Fraction: best / total, Prominence: prom}, nil
+}
+
+// MatchesTone reports whether the decision plausibly is the given
+// tone bin. The bin must win the argmax and either dominate the total
+// power or stand well above the median bin (which survives channel
+// notches on the tone while still rejecting noise).
+func (d ToneDecision) MatchesTone(bin int) bool {
+	return d.Bin == bin && (d.Fraction > 0.2 || d.Prominence > 6)
+}
+
+// DecodeToneIntegrated aggregates bin powers over a set of candidate
+// offsets before classifying. Integrating across the timing scan
+// averages out multipath phase structure and noise bursts, making the
+// header check robust when the tone bin sits in a fade at the nominal
+// offset.
+func (t *Tones) DecodeToneIntegrated(rx []float64, offsets []int) (ToneDecision, error) {
+	cfg := t.m.Config()
+	nb := cfg.NumBins()
+	acc := make([]float64, nb)
+	windows := 0
+	for _, off := range offsets {
+		start := off + cfg.CPLen
+		if start < 0 || start+cfg.N() > len(rx) {
+			continue
+		}
+		bins, err := t.m.DemodSymbol(rx[start : start+cfg.N()])
+		if err != nil {
+			return ToneDecision{}, err
+		}
+		for i, v := range bins {
+			acc[i] += dsp.CAbs2(v)
+		}
+		windows++
+	}
+	if windows == 0 {
+		return ToneDecision{}, fmt.Errorf("phy: no valid tone windows")
+	}
+	var total, best float64
+	bestBin := 0
+	for i, p := range acc {
+		total += p
+		if p > best {
+			best, bestBin = p, i
+		}
+	}
+	if total <= 0 {
+		return ToneDecision{}, nil
+	}
+	med := dsp.Median(acc)
+	return ToneDecision{Bin: bestBin, Fraction: best / total, Prominence: best / (med + 1e-30)}, nil
+}
+
+// DetectACK scans rx in quarter-symbol steps for an ACK tone.
+// minFraction is the power-share gate; a fraction above it (noise
+// sits near 1/numBins) at any offset counts as an ACK.
+func (t *Tones) DetectACK(rx []float64, minFraction float64) bool {
+	cfg := t.m.Config()
+	step := cfg.SymbolLen() / 4
+	if step < 1 {
+		step = 1
+	}
+	for off := 0; off+cfg.SymbolLen() <= len(rx); off += step {
+		d, err := t.DecodeTone(rx, off)
+		if err != nil {
+			return false
+		}
+		if d.Bin == ackBin && d.Fraction >= minFraction {
+			return true
+		}
+	}
+	return false
+}

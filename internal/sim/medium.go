@@ -1,0 +1,195 @@
+// Package sim provides a discrete-event shared acoustic medium for
+// multi-node experiments: node geometry, sound-speed propagation
+// delays, an envelope mode that tracks which transmissions are audible
+// where and when (carrier sense, collision accounting — Fig 19), and a
+// waveform mode that mixes concurrent transmissions into a receiver's
+// ear through per-pair channel links.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aquago/internal/channel"
+)
+
+// Position locates a node in meters; Z is depth below the surface.
+type Position struct {
+	X, Y, Z float64
+}
+
+// DistanceTo returns the Euclidean distance between positions.
+func (p Position) DistanceTo(q Position) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Transmission is one on-air packet in envelope mode.
+type Transmission struct {
+	// From is the transmitting node's index.
+	From int
+	// StartS and DurS delimit the full exchange interval at the
+	// transmitter.
+	StartS, DurS float64
+	// QuietOffS/QuietDurS delimit an optional silent window inside
+	// the exchange (AquaApp's transmitter goes quiet between the
+	// header and the data section while waiting for feedback). Energy
+	// detection hears nothing during it — the residual collision
+	// source the paper's Fig 19 measures, since its carrier sense
+	// uses no preamble detection or CTS.
+	QuietOffS, QuietDurS float64
+	// Seq tags the packet for collision accounting.
+	Seq int
+}
+
+// EndS returns the transmit end time.
+func (t Transmission) EndS() float64 { return t.StartS + t.DurS }
+
+// emitting reports whether the transmitter is actually radiating at
+// absolute time tS (false inside the quiet window).
+func (t Transmission) emitting(tS float64) bool {
+	if tS < t.StartS || tS >= t.EndS() {
+		return false
+	}
+	if t.QuietDurS > 0 {
+		q0 := t.StartS + t.QuietOffS
+		if tS >= q0 && tS < q0+t.QuietDurS {
+			return false
+		}
+	}
+	return true
+}
+
+// Medium is the shared acoustic channel. Envelope-mode queries are
+// O(log n) after sorting; the zero value is unusable — call New.
+type Medium struct {
+	env       channel.Environment
+	positions []Position
+	trans     []Transmission
+	sorted    bool
+	// CSRangeM bounds carrier-sense audibility (0 = unlimited); real
+	// deployments hear well past the 5-10 m node spacing.
+	CSRangeM float64
+}
+
+// New creates a medium in the given environment.
+func New(env channel.Environment) *Medium {
+	return &Medium{env: env}
+}
+
+// AddNode registers a node and returns its index.
+func (m *Medium) AddNode(p Position) int {
+	m.positions = append(m.positions, p)
+	return len(m.positions) - 1
+}
+
+// NumNodes returns the node count.
+func (m *Medium) NumNodes() int { return len(m.positions) }
+
+// Positions returns a copy of node positions.
+func (m *Medium) Positions() []Position {
+	return append([]Position(nil), m.positions...)
+}
+
+// DelayS returns the propagation delay between nodes a and b.
+func (m *Medium) DelayS(a, b int) float64 {
+	return m.positions[a].DistanceTo(m.positions[b]) / channel.SoundSpeed
+}
+
+// Transmit registers an envelope-mode transmission.
+func (m *Medium) Transmit(tr Transmission) {
+	if tr.From < 0 || tr.From >= len(m.positions) {
+		panic(fmt.Sprintf("sim: transmission from unknown node %d", tr.From))
+	}
+	m.trans = append(m.trans, tr)
+	m.sorted = false
+}
+
+// Transmissions returns all registered transmissions sorted by start
+// time.
+func (m *Medium) Transmissions() []Transmission {
+	m.ensureSorted()
+	return append([]Transmission(nil), m.trans...)
+}
+
+func (m *Medium) ensureSorted() {
+	if m.sorted {
+		return
+	}
+	sort.Slice(m.trans, func(i, j int) bool { return m.trans[i].StartS < m.trans[j].StartS })
+	m.sorted = true
+}
+
+// BusyAt reports whether node `at` hears any other node's signal at
+// time tS: each transmission [start, start+dur) arrives delayed by
+// propagation; carrier sense integrates over its 80 ms window, which
+// the caller models by polling BusyAt at its sense cadence.
+func (m *Medium) BusyAt(at int, tS float64) bool {
+	for _, tr := range m.trans {
+		if tr.From == at {
+			continue
+		}
+		if m.audible(at, tr) {
+			d := m.DelayS(tr.From, at)
+			if tr.emitting(tS - d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// audible applies the carrier-sense range bound.
+func (m *Medium) audible(at int, tr Transmission) bool {
+	if m.CSRangeM <= 0 {
+		return true
+	}
+	return m.positions[tr.From].DistanceTo(m.positions[at]) <= m.CSRangeM
+}
+
+// CollisionStats counts packets involved in collisions using the
+// paper's transmitter-side definition: two packets collide when their
+// transmit times fall within one packet duration of each other. The
+// returned slice gives, per node, (collided, total) packet counts.
+func (m *Medium) CollisionStats() (perNode map[int][2]int, fraction float64) {
+	m.ensureSorted()
+	collided := make([]bool, len(m.trans))
+	for i := 0; i < len(m.trans); i++ {
+		for j := i + 1; j < len(m.trans); j++ {
+			a, b := m.trans[i], m.trans[j]
+			// Sorted by start: stop once b starts a full packet
+			// duration after a (no further overlap possible).
+			if b.StartS-a.StartS >= math.Max(a.DurS, b.DurS) {
+				break
+			}
+			if a.From == b.From {
+				continue
+			}
+			collided[i] = true
+			collided[j] = true
+		}
+	}
+	perNode = make(map[int][2]int)
+	total, hit := 0, 0
+	for i, tr := range m.trans {
+		c := perNode[tr.From]
+		c[1]++
+		if collided[i] {
+			c[0]++
+			hit++
+		}
+		perNode[tr.From] = c
+		total++
+	}
+	if total > 0 {
+		fraction = float64(hit) / float64(total)
+	}
+	return perNode, fraction
+}
+
+// Reset clears registered transmissions but keeps nodes.
+func (m *Medium) Reset() {
+	m.trans = m.trans[:0]
+	m.sorted = true
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"aquago/internal/channel"
+	"aquago/internal/dsp"
+)
+
+func TestPositionsAndDelay(t *testing.T) {
+	m := New(channel.Bridge)
+	a := m.AddNode(Position{X: 0, Z: 1})
+	b := m.AddNode(Position{X: 15, Z: 1})
+	if m.NumNodes() != 2 {
+		t.Fatal("node count")
+	}
+	// 15 m at 1500 m/s = 10 ms.
+	if d := m.DelayS(a, b); math.Abs(d-0.01) > 1e-9 {
+		t.Fatalf("delay %g, want 0.01", d)
+	}
+	if d := m.DelayS(a, a); d != 0 {
+		t.Fatal("self delay should be 0")
+	}
+}
+
+func TestBusyAtWithPropagation(t *testing.T) {
+	m := New(channel.Bridge)
+	tx := m.AddNode(Position{X: 0, Z: 1})
+	rx := m.AddNode(Position{X: 150, Z: 1}) // 100 ms away
+	m.Transmit(Transmission{From: tx, StartS: 1.0, DurS: 0.5, Seq: 0})
+	// Before the sound arrives.
+	if m.BusyAt(rx, 1.05) {
+		t.Fatal("signal cannot arrive before propagation delay")
+	}
+	// While audible: [1.1, 1.6).
+	if !m.BusyAt(rx, 1.2) {
+		t.Fatal("channel should be busy mid-packet")
+	}
+	if m.BusyAt(rx, 1.65) {
+		t.Fatal("channel should be idle after the packet passes")
+	}
+	// The transmitter does not hear itself as "other".
+	if m.BusyAt(tx, 1.2) {
+		t.Fatal("own transmission must not trigger carrier sense")
+	}
+}
+
+func TestCSRangeLimitsAudibility(t *testing.T) {
+	m := New(channel.Bridge)
+	tx := m.AddNode(Position{X: 0, Z: 1})
+	far := m.AddNode(Position{X: 500, Z: 1})
+	m.CSRangeM = 100
+	m.Transmit(Transmission{From: tx, StartS: 0, DurS: 10, Seq: 0})
+	if m.BusyAt(far, 5) {
+		t.Fatal("node beyond carrier-sense range should not hear")
+	}
+}
+
+func TestCollisionStats(t *testing.T) {
+	m := New(channel.Bridge)
+	a := m.AddNode(Position{X: 0, Z: 1})
+	b := m.AddNode(Position{X: 5, Z: 1})
+	// Two overlapping packets and one clear packet.
+	m.Transmit(Transmission{From: a, StartS: 0.0, DurS: 0.6, Seq: 0})
+	m.Transmit(Transmission{From: b, StartS: 0.3, DurS: 0.6, Seq: 0})
+	m.Transmit(Transmission{From: a, StartS: 5.0, DurS: 0.6, Seq: 1})
+	per, frac := m.CollisionStats()
+	if per[a] != [2]int{1, 2} {
+		t.Fatalf("node a stats %v, want {1,2}", per[a])
+	}
+	if per[b] != [2]int{1, 1} {
+		t.Fatalf("node b stats %v, want {1,1}", per[b])
+	}
+	if math.Abs(frac-2.0/3.0) > 1e-9 {
+		t.Fatalf("collision fraction %g, want 2/3", frac)
+	}
+}
+
+func TestCollisionStatsSameNodeNoSelfCollision(t *testing.T) {
+	m := New(channel.Bridge)
+	a := m.AddNode(Position{})
+	m.AddNode(Position{X: 5})
+	// Back-to-back packets from the same node never "collide".
+	m.Transmit(Transmission{From: a, StartS: 0.0, DurS: 0.6, Seq: 0})
+	m.Transmit(Transmission{From: a, StartS: 0.3, DurS: 0.6, Seq: 1})
+	_, frac := m.CollisionStats()
+	if frac != 0 {
+		t.Fatalf("self-overlap counted as collision: %g", frac)
+	}
+}
+
+func TestMediumReset(t *testing.T) {
+	m := New(channel.Bridge)
+	m.AddNode(Position{})
+	m.Transmit(Transmission{From: 0, StartS: 0, DurS: 1})
+	m.Reset()
+	if len(m.Transmissions()) != 0 {
+		t.Fatal("reset did not clear transmissions")
+	}
+	if m.NumNodes() != 1 {
+		t.Fatal("reset should keep nodes")
+	}
+}
+
+func TestWaveMediumMixesConcurrentTransmissions(t *testing.T) {
+	w := NewWaveMedium(channel.Bridge, 48000, 71)
+	a := w.AddNode(Position{X: 0, Z: 1})
+	b := w.AddNode(Position{X: 10, Z: 1})
+	rx := w.AddNode(Position{X: 5, Z: 1})
+	toneA := dsp.Tone(2000, 0.1, 48000)
+	toneB := dsp.Tone(3000, 0.1, 48000)
+	w.TransmitWave(a, 0.01, 0, toneA)
+	w.TransmitWave(b, 0.02, 0, toneB)
+	win, err := w.ReceiveWindow(rx, 0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win) != int(0.3*48000) {
+		t.Fatalf("window length %d", len(win))
+	}
+	// Both tones must be present in the mix.
+	p2k := dsp.GoertzelPower(win[1000:6000], 2000, 48000)
+	p3k := dsp.GoertzelPower(win[1500:6500], 3000, 48000)
+	noiseRef := dsp.GoertzelPower(win[13000:14000], 2500, 48000)
+	if p2k < 10*noiseRef || p3k < 10*noiseRef {
+		t.Fatalf("mixed tones not audible: 2k=%g 3k=%g ref=%g", p2k, p3k, noiseRef)
+	}
+}
+
+func TestWaveMediumWindowValidation(t *testing.T) {
+	w := NewWaveMedium(channel.Bridge, 48000, 1)
+	w.AddNode(Position{})
+	if _, err := w.ReceiveWindow(0, 1, 1); err == nil {
+		t.Fatal("empty window must error")
+	}
+}

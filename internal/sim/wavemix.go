@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+
+	"aquago/internal/channel"
+	"aquago/internal/dsp"
+)
+
+// WaveTransmission attaches a waveform to an envelope transmission so
+// a receiver can be given the superposition of everything on the air —
+// concurrent packets interfere exactly as colliding sound does.
+type WaveTransmission struct {
+	Transmission
+	Samples []float64
+}
+
+// WaveMedium mixes transmissions into per-receiver audio using one
+// channel link per (tx, rx) pair. It is built lazily: links are
+// created on first use and cached, keyed by the pair.
+type WaveMedium struct {
+	*Medium
+	sampleRate int
+	seed       int64
+	links      map[[2]int]*channel.Link
+	waves      []WaveTransmission
+}
+
+// NewWaveMedium wraps a medium for waveform mixing.
+func NewWaveMedium(env channel.Environment, sampleRate int, seed int64) *WaveMedium {
+	return &WaveMedium{
+		Medium:     New(env),
+		sampleRate: sampleRate,
+		seed:       seed,
+		links:      make(map[[2]int]*channel.Link),
+	}
+}
+
+// TransmitWave registers a transmission with its waveform. DurS is
+// derived from the sample count.
+func (w *WaveMedium) TransmitWave(from int, startS float64, seq int, samples []float64) {
+	dur := float64(len(samples)) / float64(w.sampleRate)
+	tr := Transmission{From: from, StartS: startS, DurS: dur, Seq: seq}
+	w.Transmit(tr)
+	w.waves = append(w.waves, WaveTransmission{Transmission: tr, Samples: samples})
+}
+
+// link returns (building if needed) the channel from tx to rx.
+func (w *WaveMedium) link(tx, rx int) (*channel.Link, error) {
+	key := [2]int{tx, rx}
+	if l, ok := w.links[key]; ok {
+		return l, nil
+	}
+	pt, pr := w.positions[tx], w.positions[rx]
+	dist := pt.DistanceTo(pr)
+	if dist < 0.5 {
+		dist = 0.5
+	}
+	l, err := channel.NewLink(channel.LinkParams{
+		Env:        w.env,
+		DistanceM:  dist,
+		TxDepthM:   clampDepth(pt.Z, w.env.DepthM),
+		RxDepthM:   clampDepth(pr.Z, w.env.DepthM),
+		SampleRate: w.sampleRate,
+		Seed:       w.seed + int64(tx)*1009 + int64(rx)*9176,
+		NoiseOff:   true, // noise is added once per receiver window
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.links[key] = l
+	return l, nil
+}
+
+func clampDepth(z, depth float64) float64 {
+	if z <= 0 {
+		return 1
+	}
+	if z >= depth {
+		return depth - 0.5
+	}
+	return z
+}
+
+// ReceiveWindow renders what node rx hears during [fromS, toS): all
+// audible transmissions convolved through their pairwise channels,
+// delayed by propagation, summed, plus one dose of ambient noise.
+func (w *WaveMedium) ReceiveWindow(rx int, fromS, toS float64) ([]float64, error) {
+	if toS <= fromS {
+		return nil, fmt.Errorf("sim: empty window [%g, %g)", fromS, toS)
+	}
+	n := int((toS - fromS) * float64(w.sampleRate))
+	out := make([]float64, n)
+	for _, wt := range w.waves {
+		if wt.From == rx {
+			continue
+		}
+		d := w.DelayS(wt.From, rx)
+		arriveS := wt.StartS + d
+		endS := arriveS + wt.DurS + 0.2 // allow channel tail
+		if endS <= fromS || arriveS >= toS {
+			continue
+		}
+		l, err := w.link(wt.From, rx)
+		if err != nil {
+			return nil, err
+		}
+		rxWave := l.TransmitAt(wt.Samples, wt.StartS)
+		off := int((arriveS - fromS) * float64(w.sampleRate))
+		dsp.AddAt(out, rxWave, off)
+	}
+	// Ambient noise for the window.
+	ng := channel.NewNoiseGen(w.env, w.sampleRate, w.seed^int64(rx)^int64(fromS*1000))
+	dsp.Add(out, ng.Generate(n))
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package aquago
+
+import (
+	"aquago/internal/app"
+	"aquago/internal/channel"
+	"aquago/internal/modem"
+	"aquago/internal/phy"
+)
+
+// WaterOption customizes SimulatedWater.
+type WaterOption func(*channel.LinkParams)
+
+// AtDistance sets the horizontal transmitter-receiver distance in
+// meters (default 5).
+func AtDistance(m float64) WaterOption {
+	return func(p *channel.LinkParams) { p.DistanceM = m }
+}
+
+// AtDepth sets both devices' depth in meters (default 1).
+func AtDepth(m float64) WaterOption {
+	return func(p *channel.LinkParams) { p.TxDepthM, p.RxDepthM = m, m }
+}
+
+// WithDevices selects the transmitting and receiving device models.
+func WithDevices(tx, rx Device) WaterOption {
+	return func(p *channel.LinkParams) { p.TxDevice, p.RxDevice = tx, rx }
+}
+
+// WithMotion applies a motion model (Static, SlowMotion, FastMotion).
+func WithMotion(m Motion) WaterOption {
+	return func(p *channel.LinkParams) { p.Motion = m }
+}
+
+// WithOrientation sets the azimuth offset in degrees between the
+// devices (0 = facing each other).
+func WithOrientation(deg float64) WaterOption {
+	return func(p *channel.LinkParams) { p.OrientationDeg = deg }
+}
+
+// WithHardCase encloses the devices in the 15 m-rated hard case
+// instead of the soft pouch.
+func WithHardCase() WaterOption {
+	return func(p *channel.LinkParams) { p.Casing = channel.CasingHardCase }
+}
+
+// WithSeed fixes the random realization (default 1).
+func WithSeed(seed int64) WaterOption {
+	return func(p *channel.LinkParams) { p.Seed = seed }
+}
+
+// SimulatedWater builds a Medium that behaves like the given
+// environment: multipath from the site geometry, device frequency
+// responses, ambient noise and optional motion. It is the stand-in
+// for real water that every experiment in this repository runs on.
+func SimulatedWater(env Environment, opts ...WaterOption) (Medium, error) {
+	p := channel.LinkParams{Env: env, Seed: 1}
+	for _, o := range opts {
+		o(&p)
+	}
+	return phy.NewChannelMedium(p)
+}
+
+// SwapDirection returns the same water seen from the other end: its
+// Forward is the original's Backward. Two peers sharing one simulated
+// medium should each talk over their own view.
+func SwapDirection(m Medium) Medium { return swappedMedium{m} }
+
+type swappedMedium struct{ inner Medium }
+
+func (s swappedMedium) Forward(tx []float64, atS float64) []float64 {
+	return s.inner.Backward(tx, atS)
+}
+
+func (s swappedMedium) Backward(tx []float64, atS float64) []float64 {
+	return s.inner.Forward(tx, atS)
+}
+
+// Session runs the full adaptive protocol (preamble, SNR estimation,
+// band adaptation, feedback, data, ACK with retransmission) between
+// two endpoints over a Medium.
+type Session struct {
+	proto *phy.Protocol
+	msgr  *app.Messenger
+	clock float64
+}
+
+// Dial creates a session for the local device ID.
+func Dial(self DeviceID) (*Session, error) {
+	m, err := modem.New(modem.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	proto := phy.New(m, phy.Options{})
+	return &Session{proto: proto, msgr: app.NewMessenger(proto, self)}, nil
+}
+
+// SendResult is re-exported from the messaging layer.
+type SendResult = app.SendResult
+
+// Send delivers one or two codebook messages to dst over the medium,
+// retrying on missing ACKs. The session keeps a virtual clock so
+// consecutive sends see an evolving channel.
+func (s *Session) Send(med Medium, dst DeviceID, first, second uint8) (SendResult, error) {
+	res, err := s.msgr.Send(med, dst, first, second, s.clock)
+	if err != nil {
+		return res, err
+	}
+	// Advance the clock past the traffic (approximate airtime).
+	s.clock += float64(res.Attempts) * (s.proto.PacketAirtimeS(res.Last.Band) + 0.25)
+	return res, nil
+}
+
+// Exchange runs a single adaptive packet exchange without the
+// messaging layer (full per-stage result access).
+func (s *Session) Exchange(med Medium, pkt Packet) (Result, error) {
+	res, err := s.proto.Exchange(med, pkt, s.clock)
+	if err != nil {
+		return res, err
+	}
+	s.clock += s.proto.PacketAirtimeS(res.Band) + 0.25
+	return res, nil
+}
+
+// Beacon is the long-range FSK SoS transmitter/receiver.
+type Beacon = phy.Beacon
+
+// NewBeacon returns a beacon codec at 5, 10 or 20 bps.
+func NewBeacon(bitRate int) (*Beacon, error) { return phy.NewBeacon(bitRate) }
+
+// NoMessage is the second-slot filler for single-message packets.
+const NoMessage = app.NoMessage
