@@ -5,19 +5,48 @@
 // Usage:
 //
 //	aquabench -list
-//	aquabench -exp fig09,fig12 [-packets 100] [-seed 1]
-//	aquabench -all [-quick]
+//	aquabench -exp fig09,fig12 [-packets 100] [-seed 1] [-workers 0]
+//	aquabench -all [-quick] [-json] [-out BENCH_exp.json]
+//
+// -workers sizes the parallel experiment engine (0 = one worker per
+// CPU core, 1 = serial); results are identical for any value. -json
+// additionally writes a machine-readable benchmark file with the
+// wall time and series of every experiment, the start of the repo's
+// performance trajectory across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"aquago/internal/exp"
 )
+
+// benchExperiment is one experiment's entry in the -json output.
+type benchExperiment struct {
+	ID     string     `json:"id"`
+	WallMS float64    `json:"wall_ms"`
+	Error  string     `json:"error,omitempty"`
+	Report exp.Report `json:"report"`
+}
+
+// benchFile is the top-level -json document (BENCH_exp.json).
+type benchFile struct {
+	Timestamp   string            `json:"timestamp"`
+	GoVersion   string            `json:"go_version"`
+	NumCPU      int               `json:"num_cpu"`
+	Workers     int               `json:"workers"`
+	Packets     int               `json:"packets"`
+	Seed        int64             `json:"seed"`
+	Quick       bool              `json:"quick"`
+	TotalMS     float64           `json:"total_ms"`
+	Experiments []benchExperiment `json:"experiments"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
@@ -26,6 +55,9 @@ func main() {
 	packets := flag.Int("packets", 0, "packets per measurement point (0 = default 100)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "write per-experiment timings and series as JSON")
+	outPath := flag.String("out", "BENCH_exp.json", "output path for -json")
 	flag.Parse()
 
 	if *list {
@@ -45,19 +77,49 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := exp.RunConfig{Packets: *packets, Seed: *seed, Quick: *quick}
+	cfg := exp.RunConfig{Packets: *packets, Seed: *seed, Quick: *quick, Workers: *workers}
+	bench := benchFile{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workers:   *workers,
+		Packets:   *packets,
+		Seed:      *seed,
+		Quick:     *quick,
+	}
 	failed := false
+	totalStart := time.Now()
 	for _, id := range selected {
 		id = strings.TrimSpace(id)
 		start := time.Now()
 		rep, err := exp.Run(id, cfg)
+		wallMS := float64(time.Since(start).Microseconds()) / 1000
+		entry := benchExperiment{ID: id, WallMS: wallMS, Report: rep}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aquabench: %s: %v\n", id, err)
+			entry.Error = err.Error()
 			failed = true
-			continue
+		} else {
+			rep.Render(os.Stdout)
+			fmt.Printf("   [%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
-		rep.Render(os.Stdout)
-		fmt.Printf("   [%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		bench.Experiments = append(bench.Experiments, entry)
+	}
+	bench.TotalMS = float64(time.Since(totalStart).Microseconds()) / 1000
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aquabench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "aquabench: write %s: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments, total %.0f ms)\n",
+			*outPath, len(bench.Experiments), bench.TotalMS)
 	}
 	if failed {
 		os.Exit(1)

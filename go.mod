@@ -1,0 +1,3 @@
+module aquago
+
+go 1.24

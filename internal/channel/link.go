@@ -112,7 +112,11 @@ type Link struct {
 	noise   *NoiseGen
 	// orientGain scales the whole response per Fig 15's directivity.
 	orientGain float64
-	elapsedS   float64 // virtual time, advances with每 transmit call
+	elapsedS   float64 // virtual time, advances with each transmit call
+	// scratch buffers for the time-varying path's two realization
+	// convolutions (their crossfade is consumed immediately, so the
+	// intermediates never escape the link).
+	scratchA, scratchB []float64
 }
 
 // NewLink builds the composite channel: device TX response -> casing
@@ -313,8 +317,9 @@ func (l *Link) transmitTimeVarying(tx []float64) []float64 {
 		factor := 1 / (1 + inst/SoundSpeed)
 		tx = dsp.ResampleLinear(tx, factor)
 	}
-	a := l.conv.Apply(tx)
-	b := l.convAlt.Apply(tx)
+	l.scratchA = l.conv.ApplyTo(l.scratchA, tx)
+	l.scratchB = l.convAlt.ApplyTo(l.scratchB, tx)
+	a, b := l.scratchA, l.scratchB
 	// The two realizations may have slightly different lengths.
 	n := max(len(a), len(b))
 	out := make([]float64, n)

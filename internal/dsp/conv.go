@@ -96,21 +96,52 @@ func NewOverlapAdd(kernel []float64) *OverlapAdd {
 // KernelLen returns the kernel length.
 func (oa *OverlapAdd) KernelLen() int { return len(oa.kernel) }
 
+// OutLen returns the length of the convolution of an n-sample input
+// with the kernel.
+func (oa *OverlapAdd) OutLen(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return n + len(oa.kernel) - 1
+}
+
 // Apply returns the full convolution of x with the kernel
-// (length len(x)+len(kernel)-1).
+// (length len(x)+len(kernel)-1) as a freshly allocated slice.
 func (oa *OverlapAdd) Apply(x []float64) []float64 {
 	if len(x) == 0 {
 		return nil
 	}
-	out := make([]float64, len(x)+len(oa.kernel)-1)
+	return oa.ApplyTo(make([]float64, oa.OutLen(len(x))), x)
+}
+
+// ApplyTo convolves x with the kernel into dst, growing dst only when
+// its capacity is short, and returns the (possibly reallocated) result
+// slice of length OutLen(len(x)). Callers running many convolutions
+// can pass the previous result back in to stay allocation-free; the
+// returned slice is always safe to retain until the next ApplyTo.
+func (oa *OverlapAdd) ApplyTo(dst []float64, x []float64) []float64 {
+	if len(x) == 0 {
+		return dst[:0]
+	}
+	n := oa.OutLen(len(x))
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 	for start := 0; start < len(x); start += oa.block {
 		end := min(start+oa.block, len(x))
 		chunk := x[start:end]
-		for i := range oa.seg {
-			oa.seg[i] = 0
-		}
 		for i, v := range chunk {
 			oa.seg[i] = complex(v, 0)
+		}
+		// Only the tail beyond the chunk needs clearing: the chunk
+		// samples above just overwrote the head.
+		for i := len(chunk); i < len(oa.seg); i++ {
+			oa.seg[i] = 0
 		}
 		oa.plan.Forward(oa.seg, oa.seg)
 		for i := range oa.seg {
@@ -118,9 +149,9 @@ func (oa *OverlapAdd) Apply(x []float64) []float64 {
 		}
 		oa.plan.Inverse(oa.seg, oa.seg)
 		limit := len(chunk) + len(oa.kernel) - 1
-		for i := 0; i < limit && start+i < len(out); i++ {
-			out[start+i] += real(oa.seg[i])
+		for i := 0; i < limit && start+i < len(dst); i++ {
+			dst[start+i] += real(oa.seg[i])
 		}
 	}
-	return out
+	return dst
 }

@@ -205,3 +205,62 @@ func BenchmarkOverlapAdd480TapChannel(b *testing.B) {
 		oa.Apply(x)
 	}
 }
+
+// BenchmarkOverlapAddApply measures the steady-state convolution cost
+// with a fresh output per call (the Transmit path, whose result
+// escapes to the caller).
+func BenchmarkOverlapAddApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	kernel := randReal(480, rng)
+	x := randReal(48000, rng)
+	oa := NewOverlapAdd(kernel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oa.Apply(x)
+	}
+}
+
+// BenchmarkOverlapAddApplyTo measures the allocation-free path: the
+// output buffer is recycled across calls, as the time-varying channel
+// does for its two realization convolutions.
+func BenchmarkOverlapAddApplyTo(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	kernel := randReal(480, rng)
+	x := randReal(48000, rng)
+	oa := NewOverlapAdd(kernel)
+	var out []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = oa.ApplyTo(out, x)
+	}
+}
+
+// TestOverlapAddApplyToMatchesApply checks the buffer-reuse path
+// against the allocating path across growing and shrinking inputs.
+func TestOverlapAddApplyToMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	kernel := randReal(100, rng)
+	oa := NewOverlapAdd(kernel)
+	var out []float64
+	for _, n := range []int{1000, 5000, 300, 5000, 1} {
+		x := randReal(n, rng)
+		want := oa.Apply(x)
+		out = oa.ApplyTo(out, x)
+		if len(out) != len(want) {
+			t.Fatalf("n=%d: ApplyTo length %d, want %d", n, len(out), len(want))
+		}
+		for i := range want {
+			if math.Abs(out[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d: sample %d differs: %g vs %g", n, i, out[i], want[i])
+			}
+		}
+	}
+	if got := oa.ApplyTo(out, nil); len(got) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+	if oa.OutLen(0) != 0 || oa.OutLen(10) != 10+len(kernel)-1 {
+		t.Fatal("OutLen mismatch")
+	}
+}

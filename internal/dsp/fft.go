@@ -12,53 +12,132 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
-// Plan holds the precomputed state (factorization, twiddle factors and
+// planTables holds the immutable precomputed state for transforms of
+// one size: factorization, twiddle factors (forward and conjugate),
+// the bit-reversal permutation for power-of-two sizes and the
+// Bluestein chirp kernel for sizes with large prime factors. Tables
+// are shared by every Plan of the same size through a global cache
+// (tablesFor), so building a Plan costs no trigonometry after the
+// first one — only its private scratch buffers.
+type planTables struct {
+	n        int
+	factors  []int        // prime factors of n in ascending order
+	maxRadix int          // largest factor (caps the small-DFT scratch)
+	pow2     bool         // n is a power of two: iterative radix-2 path
+	tw       []complex128 // tw[j] = exp(-2*pi*i*j/n)
+	twInv    []complex128 // conj(tw[j]), used by inverse transforms
+	rev      []int32      // bit-reversal permutation (pow2 only)
+
+	// Bluestein state, built only when n has a factor > 5.
+	blu *bluTables
+}
+
+// bluTables is the immutable part of the Bluestein chirp-z transform.
+type bluTables struct {
+	n    int
+	m    int         // power-of-two convolution size >= 2n-1
+	sub  *planTables // tables for the size-m sub-transform
+	w    []complex128
+	bfft []complex128 // forward FFT of the chirp kernel
+}
+
+// planTableCache maps transform size -> *planTables. Tables are
+// immutable after construction, so sharing them across goroutines is
+// safe even though a Plan itself is not.
+var planTableCache sync.Map
+
+// tablesFor returns the shared tables for size n, building them on
+// first use.
+func tablesFor(n int) *planTables {
+	if v, ok := planTableCache.Load(n); ok {
+		return v.(*planTables)
+	}
+	t := buildTables(n)
+	actual, _ := planTableCache.LoadOrStore(n, t)
+	return actual.(*planTables)
+}
+
+func buildTables(n int) *planTables {
+	t := &planTables{n: n}
+	t.factors = factorize(n)
+	t.maxRadix = 1
+	for _, f := range t.factors {
+		if f > t.maxRadix {
+			t.maxRadix = f
+		}
+	}
+	if t.maxRadix > 5 {
+		t.blu = newBluTables(n)
+		return t
+	}
+	t.tw = make([]complex128, n)
+	t.twInv = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+		t.tw[j] = complex(c, s)
+		t.twInv[j] = complex(c, -s)
+	}
+	if n&(n-1) == 0 {
+		t.pow2 = true
+		t.rev = bitReversal(n)
+	}
+	return t
+}
+
+// bitReversal returns the bit-reversal permutation for a power-of-two
+// size (rev[rev[i]] == i, so it doubles as an in-place swap schedule).
+func bitReversal(n int) []int32 {
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	rev := make([]int32, n)
+	for i := range rev {
+		rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	return rev
+}
+
+// Plan holds the per-instance state (shared tables plus private
 // scratch space) for transforms of one fixed size. A Plan is cheap to
-// reuse and amortizes all trigonometric work across calls.
+// build — the trigonometric tables are cached per size process-wide —
+// and amortizes all scratch allocation across calls.
 //
 // A Plan is NOT safe for concurrent use; each goroutine should own its
 // plan (see NewPlan). The zero value is not usable.
 type Plan struct {
+	t       *planTables
 	n       int
-	factors []int        // prime factors of n in ascending order
-	tw      []complex128 // tw[j] = exp(-2*pi*i*j/n)
-	scratch []complex128 // combine scratch, length n
+	scratch []complex128 // mixed-radix combine scratch, length n
 	dft     []complex128 // small-DFT scratch (max factor wide)
+	alias   []complex128 // lazily built copy buffer for aliased calls
 
-	// Bluestein state, allocated only when n has a factor > 5.
+	// Bluestein scratch, allocated only when n has a factor > 5.
 	blu *bluestein
 }
 
-// NewPlan returns a transform plan for size n. Sizes whose prime
-// factors are all in {2,3,5} (this covers the modem's 960, 1920 and
-// 4800-point symbols) use a mixed-radix Cooley-Tukey decomposition;
-// any other size transparently falls back to Bluestein's chirp-z
-// algorithm. NewPlan panics if n < 1.
+// NewPlan returns a transform plan for size n. Power-of-two sizes use
+// an iterative radix-2 kernel; other sizes whose prime factors are all
+// in {2,3,5} (this covers the modem's 960, 1920 and 4800-point
+// symbols) use a mixed-radix Cooley-Tukey decomposition; any other
+// size transparently falls back to Bluestein's chirp-z algorithm.
+// NewPlan panics if n < 1.
 func NewPlan(n int) *Plan {
 	if n < 1 {
 		panic(fmt.Sprintf("dsp: invalid FFT size %d", n))
 	}
-	p := &Plan{n: n}
-	p.factors = factorize(n)
-	maxf := 1
-	for _, f := range p.factors {
-		if f > maxf {
-			maxf = f
-		}
+	t := tablesFor(n)
+	p := &Plan{t: t, n: n}
+	switch {
+	case t.blu != nil:
+		p.blu = newBluestein(t.blu)
+	case t.pow2:
+		// The iterative kernel works in place after the bit-reversal
+		// permutation; no scratch needed.
+	default:
+		p.scratch = make([]complex128, n)
+		p.dft = make([]complex128, t.maxRadix)
 	}
-	if maxf > 5 {
-		p.blu = newBluestein(n)
-		return p
-	}
-	p.tw = make([]complex128, n)
-	for j := 0; j < n; j++ {
-		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
-		p.tw[j] = complex(c, s)
-	}
-	p.scratch = make([]complex128, n)
-	p.dft = make([]complex128, maxf)
 	return p
 }
 
@@ -69,39 +148,40 @@ func (p *Plan) Size() int { return p.n }
 // dst and src must both have length Size(); they may alias.
 func (p *Plan) Forward(dst, src []complex128) {
 	p.checkLen(dst, src)
-	if p.blu != nil {
-		p.blu.transform(dst, src, false)
-		return
-	}
-	if &dst[0] == &src[0] {
-		tmp := make([]complex128, p.n)
-		copy(tmp, src)
-		src = tmp
-	}
-	p.recurse(dst, src, p.n, 1, 0, false)
+	p.transform(dst, src, false)
 }
 
 // Inverse computes the inverse DFT of src into dst, normalized by 1/n
 // so that Inverse(Forward(x)) == x. dst and src may alias.
 func (p *Plan) Inverse(dst, src []complex128) {
 	p.checkLen(dst, src)
-	if p.blu != nil {
-		p.blu.transform(dst, src, true)
-		scale := complex(1/float64(p.n), 0)
-		for i := range dst {
-			dst[i] *= scale
-		}
-		return
-	}
-	if &dst[0] == &src[0] {
-		tmp := make([]complex128, p.n)
-		copy(tmp, src)
-		src = tmp
-	}
-	p.recurse(dst, src, p.n, 1, 0, true)
+	p.transform(dst, src, true)
 	scale := complex(1/float64(p.n), 0)
 	for i := range dst {
 		dst[i] *= scale
+	}
+}
+
+func (p *Plan) transform(dst, src []complex128, inverse bool) {
+	t := p.t
+	switch {
+	case t.blu != nil:
+		p.blu.transform(dst, src, inverse)
+	case t.pow2:
+		p.pow2Transform(dst, src, inverse)
+	default:
+		if &dst[0] == &src[0] {
+			if p.alias == nil {
+				p.alias = make([]complex128, p.n)
+			}
+			copy(p.alias, src)
+			src = p.alias
+		}
+		tw := t.tw
+		if inverse {
+			tw = t.twInv
+		}
+		p.recurse(dst, src, p.n, 1, 0, tw, inverse)
 	}
 }
 
@@ -111,32 +191,77 @@ func (p *Plan) checkLen(dst, src []complex128) {
 	}
 }
 
+// pow2Transform is the iterative radix-2 decimation-in-time kernel:
+// bit-reversal permutation followed by log2(n) butterfly passes, fully
+// in place. It is the hot path of the overlap-add convolvers, whose
+// FFT sizes are always powers of two.
+func (p *Plan) pow2Transform(dst, src []complex128, inverse bool) {
+	n := p.n
+	rev := p.t.rev
+	if &dst[0] == &src[0] {
+		// rev is an involution: swapping each pair once permutes in
+		// place without scratch.
+		for i, j := range rev {
+			if int32(i) < j {
+				dst[i], dst[j] = dst[j], dst[i]
+			}
+		}
+	} else {
+		for i, j := range rev {
+			dst[i] = src[j]
+		}
+	}
+	tw := p.t.tw
+	if inverse {
+		tw = p.t.twInv
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for base := 0; base < n; base += size {
+			ti := 0
+			for k := base; k < base+half; k++ {
+				a := dst[k]
+				b := dst[k+half] * tw[ti]
+				dst[k] = a + b
+				dst[k+half] = a - b
+				ti += step
+			}
+		}
+	}
+}
+
 // recurse performs a decimation-in-time step: the length-n transform
 // at the given stride of src is written contiguously into dst.
-// factIdx indexes the next factor to peel off.
-func (p *Plan) recurse(dst, src []complex128, n, stride, factIdx int, inverse bool) {
+// factIdx indexes the next factor to peel off; tw is the (forward or
+// conjugate) twiddle table.
+func (p *Plan) recurse(dst, src []complex128, n, stride, factIdx int, tw []complex128, inverse bool) {
 	if n == 1 {
 		dst[0] = src[0]
 		return
 	}
-	r := p.factors[factIdx] // radix for this stage
+	r := p.t.factors[factIdx] // radix for this stage
 	m := n / r
 	// Transform the r decimated subsequences.
 	for q := 0; q < r; q++ {
-		p.recurse(dst[q*m:(q+1)*m], src[q*stride:], m, stride*r, factIdx+1, inverse)
+		p.recurse(dst[q*m:(q+1)*m], src[q*stride:], m, stride*r, factIdx+1, tw, inverse)
 	}
 	// Combine: X[k1 + m*k2] = sum_q W_n^(k1*q) * W_r^(k2*q) * Y_q[k1].
 	twStep := p.n / n
 	out := p.scratch[:n]
 	z := p.dft[:r]
 	for k1 := 0; k1 < m; k1++ {
+		// The twiddle index k1*q*twStep advances by wStep per q;
+		// wStep < p.n, so a single conditional subtraction replaces
+		// the modulo in the inner loop.
+		wStep := k1 * twStep
+		idx := 0
 		for q := 0; q < r; q++ {
-			idx := (k1 * q * twStep) % p.n
-			w := p.tw[idx]
-			if inverse {
-				w = complex(real(w), -imag(w))
+			z[q] = dst[q*m+k1] * tw[idx]
+			idx += wStep
+			if idx >= p.n {
+				idx -= p.n
 			}
-			z[q] = dst[q*m+k1] * w
 		}
 		switch r {
 		case 2:
@@ -147,7 +272,7 @@ func (p *Plan) recurse(dst, src []complex128, n, stride, factIdx int, inverse bo
 		case 5:
 			dft5(out, z, k1, m, inverse)
 		default:
-			p.dftGeneric(out, z, k1, m, r, n, inverse)
+			p.dftGeneric(out, z, k1, m, r, tw)
 		}
 	}
 	copy(dst[:n], out)
@@ -171,10 +296,10 @@ func dft3(out, z []complex128, k1, m int, inverse bool) {
 // the Winograd-style decomposition.
 func dft5(out, z []complex128, k1, m int, inverse bool) {
 	const (
-		c1 = 0.30901699437494745  // cos(2pi/5)
-		c2 = -0.8090169943749475  // cos(4pi/5)
-		s1 = 0.9510565162951535   // sin(2pi/5)
-		s2 = 0.5877852522924731   // sin(4pi/5)
+		c1 = 0.30901699437494745 // cos(2pi/5)
+		c2 = -0.8090169943749475 // cos(4pi/5)
+		s1 = 0.9510565162951535  // sin(2pi/5)
+		s2 = 0.5877852522924731  // sin(4pi/5)
 	)
 	sa, sb := s1, s2
 	if inverse {
@@ -199,17 +324,18 @@ func dft5(out, z []complex128, k1, m int, inverse bool) {
 // It is only reachable when factorize admits larger primes, which the
 // current implementation routes to Bluestein instead; it is kept so the
 // combine step stays correct if the factor policy ever changes.
-func (p *Plan) dftGeneric(out, z []complex128, k1, m, r, n int, inverse bool) {
+func (p *Plan) dftGeneric(out, z []complex128, k1, m, r int, tw []complex128) {
 	twStep := p.n / r
 	for k2 := 0; k2 < r; k2++ {
 		var acc complex128
+		idx := 0
+		wStep := k2 * twStep % p.n
 		for q := 0; q < r; q++ {
-			idx := (k2 * q * twStep) % p.n
-			w := p.tw[idx]
-			if inverse {
-				w = complex(real(w), -imag(w))
+			acc += z[q] * tw[idx]
+			idx += wStep
+			if idx >= p.n {
+				idx -= p.n
 			}
-			acc += z[q] * w
 		}
 		out[k1+k2*m] = acc
 	}
@@ -236,63 +362,69 @@ func factorize(n int) []int {
 	return f
 }
 
-// bluestein implements the chirp-z transform: an arbitrary-length DFT
-// expressed as a convolution, evaluated with a power-of-two FFT.
-type bluestein struct {
-	n    int
-	m    int // power-of-two convolution size >= 2n-1
-	sub  *Plan
-	w    []complex128 // chirp exp(-i*pi*k^2/n)
-	bfft []complex128 // forward FFT of the chirp kernel
-	a    []complex128
-	b    []complex128
-}
-
-func newBluestein(n int) *bluestein {
+// newBluTables precomputes the chirp and its transformed kernel for
+// Bluestein's algorithm: an arbitrary-length DFT expressed as a
+// convolution, evaluated with a power-of-two FFT.
+func newBluTables(n int) *bluTables {
 	m := 1 << uint(bits.Len(uint(2*n-1)))
-	bs := &bluestein{n: n, m: m, sub: NewPlan(m)}
-	bs.w = make([]complex128, n)
+	bt := &bluTables{n: n, m: m, sub: tablesFor(m)}
+	bt.w = make([]complex128, n)
 	for k := 0; k < n; k++ {
 		// k*k may overflow for large n; reduce mod 2n first.
 		kk := (int64(k) * int64(k)) % int64(2*n)
 		s, c := math.Sincos(-math.Pi * float64(kk) / float64(n))
-		bs.w[k] = complex(c, s)
+		bt.w[k] = complex(c, s)
 	}
 	kernel := make([]complex128, m)
 	kernel[0] = complex(1, 0)
 	for k := 1; k < n; k++ {
-		conj := complex(real(bs.w[k]), -imag(bs.w[k]))
+		conj := complex(real(bt.w[k]), -imag(bt.w[k]))
 		kernel[k] = conj
 		kernel[m-k] = conj
 	}
-	bs.bfft = make([]complex128, m)
-	bs.sub.Forward(bs.bfft, kernel)
-	bs.a = make([]complex128, m)
-	bs.b = make([]complex128, m)
-	return bs
+	bt.bfft = make([]complex128, m)
+	NewPlan(m).Forward(bt.bfft, kernel)
+	return bt
+}
+
+// bluestein carries the per-plan scratch for the chirp-z transform.
+type bluestein struct {
+	t   *bluTables
+	sub *Plan
+	a   []complex128
+	b   []complex128
+}
+
+func newBluestein(t *bluTables) *bluestein {
+	return &bluestein{
+		t:   t,
+		sub: NewPlan(t.m),
+		a:   make([]complex128, t.m),
+		b:   make([]complex128, t.m),
+	}
 }
 
 func (bs *bluestein) transform(dst, src []complex128, inverse bool) {
-	n, m := bs.n, bs.m
+	n, m := bs.t.n, bs.t.m
+	w, bfft := bs.t.w, bs.t.bfft
 	for i := range bs.a {
 		bs.a[i] = 0
 	}
 	for k := 0; k < n; k++ {
-		w := bs.w[k]
 		x := src[k]
 		if inverse {
 			// Inverse DFT of x == conj(forward DFT of conj(x)).
 			x = complex(real(x), -imag(x))
 		}
-		bs.a[k] = x * w
+		bs.a[k] = x * w[k]
 	}
 	bs.sub.Forward(bs.b, bs.a)
 	for i := 0; i < m; i++ {
-		bs.b[i] *= bs.bfft[i]
+		bs.b[i] *= bfft[i]
 	}
 	bs.sub.Inverse(bs.a, bs.b)
 	for k := 0; k < n; k++ {
-		v := bs.a[k] * bs.w[k]
+		v := bs.a[k] * w[k]
 		if inverse {
 			v = complex(real(v), -imag(v))
 		}

@@ -41,12 +41,18 @@ func AblSoftDecision(cfg RunConfig) (Report, error) {
 		{"fixed 3 kHz, soft decisions", &full, false},
 		{"fixed 3 kHz, hard decisions", &full, true},
 	}
+	var pts []point
+	for _, c := range cases {
+		pts = append(pts, point{
+			spec:    linkSpec{env: channel.Lake, distanceM: 5, fixedBand: c.fixed, hardDecision: c.hard},
+			packets: cfg.Packets, seed: cfg.Seed})
+	}
+	all, err := runPoints(cfg, pts)
+	if err != nil {
+		return rep, err
+	}
 	for ci, c := range cases {
-		spec := linkSpec{env: channel.Lake, distanceM: 5, fixedBand: c.fixed, hardDecision: c.hard}
-		stats, err := runTrials(spec, cfg.Packets, cfg.Seed)
-		if err != nil {
-			return rep, err
-		}
+		stats := all[ci]
 		s.X = append(s.X, float64(ci))
 		s.Y = append(s.Y, stats.PER())
 		rep.Notes = append(rep.Notes, fmt.Sprintf("%-28s PER %.1f%%", c.name, 100*stats.PER()))
@@ -71,47 +77,73 @@ func AblWaterfill(cfg RunConfig) (Report, error) {
 		ID:    "abl-waterfill",
 		Title: "Band selection vs ideal water-filling (rate achieved vs feedback cost)",
 	}
-	m, err := modem.New(modem.DefaultConfig())
-	if err != nil {
-		return rep, err
-	}
-	det := modem.NewDetector(m)
-	sel := adapt.NewSelector()
 	ratios := Series{Name: "band rate / water-filling rate", XLabel: "distance m", YLabel: "ratio"}
 	trials := cfg.Packets / 4
 	if trials < 5 {
 		trials = 5
 	}
-	for _, dist := range []float64{5, 10, 20, 30} {
-		var sum float64
-		var n int
-		for tr := 0; tr < trials; tr++ {
+	distances := []float64{5, 10, 20, 30}
+
+	// One job per (distance, trial); workers share a
+	// modem/detector/selector triple.
+	type wfState struct {
+		m   *modem.Modem
+		det *modem.Detector
+		sel *adapt.Selector
+	}
+	type ratio struct {
+		v  float64
+		ok bool
+	}
+	results, err := parallelMapState(cfg.Workers, len(distances)*trials,
+		func() (wfState, error) {
+			m, err := modem.New(modem.DefaultConfig())
+			if err != nil {
+				return wfState{}, err
+			}
+			return wfState{m: m, det: modem.NewDetector(m), sel: adapt.NewSelector()}, nil
+		},
+		func(st wfState, i int) (ratio, error) {
+			m := st.m
+			dist := distances[i/trials]
+			tr := i % trials
 			link, err := channel.NewLink(channel.LinkParams{
 				Env: channel.Lake, DistanceM: dist,
 				Seed: cfg.Seed + int64(tr)*71 + int64(dist),
 			})
 			if err != nil {
-				return rep, err
+				return ratio{}, err
 			}
 			rx := link.TransmitAt(m.Preamble(), float64(tr))
-			d, ok := det.Detect(rx)
+			d, ok := st.det.Detect(rx)
 			if !ok || d.Offset+m.PreambleLen() > len(rx) {
-				continue
+				return ratio{}, nil
 			}
 			est, err := m.EstimateChannel(rx[d.Offset : d.Offset+m.PreambleLen()])
 			if err != nil {
-				continue
+				return ratio{}, nil
 			}
-			band, ok := sel.Select(est.SNRdB)
+			band, ok := st.sel.Select(est.SNRdB)
 			if !ok {
-				continue
+				return ratio{}, nil
 			}
 			_, wf := adapt.WaterFill(est.SNRdB)
 			if wf <= 0 {
-				continue
+				return ratio{}, nil
 			}
-			sum += adapt.BandRateBits(est.SNRdB, band.Lo, band.Hi) / wf
-			n++
+			return ratio{v: adapt.BandRateBits(est.SNRdB, band.Lo, band.Hi) / wf, ok: true}, nil
+		})
+	if err != nil {
+		return rep, err
+	}
+	for di, dist := range distances {
+		var sum float64
+		var n int
+		for tr := 0; tr < trials; tr++ {
+			if r := results[di*trials+tr]; r.ok {
+				sum += r.v
+				n++
+			}
 		}
 		if n == 0 {
 			continue
@@ -120,7 +152,7 @@ func AblWaterfill(cfg RunConfig) (Report, error) {
 		ratios.Y = append(ratios.Y, sum/float64(n))
 	}
 	rep.Series = append(rep.Series, ratios)
-	bs, wf := adapt.FeedbackCostBits(m.Config().NumBins(), 6)
+	bs, wf := adapt.FeedbackCostBits(modem.DefaultConfig().NumBins(), 6)
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("feedback payload: band selection %d bits (one 2-tone symbol) vs water-filling %d bits (~%d OFDM symbols)",
 			bs, wf, (wf+59)/60),
@@ -148,22 +180,32 @@ func AblMACPreamble(cfg RunConfig) (Report, error) {
 	modes := []struct {
 		cs, aware bool
 	}{{false, false}, {true, false}, {true, true}}
-	for mi, mode := range modes {
+	// One job per (mode, run); every network simulation derives its
+	// own seed.
+	fracs, err := parallelMap(cfg.Workers, len(modes)*runs, func(i int) (float64, error) {
+		mode := modes[i/runs]
+		r := i % runs
+		med := sim.New(channel.Bridge)
+		med.AddNode(sim.Position{X: 0, Z: 1})
+		tx := make([]int, 3)
+		for i := range tx {
+			tx[i] = med.AddNode(sim.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
+		}
+		res := mac.RunNetwork(med, tx, mac.Config{
+			CarrierSense:  mode.cs,
+			PreambleAware: mode.aware,
+			PacketsPerTx:  packets,
+			Seed:          cfg.Seed + int64(r)*7919,
+		})
+		return res.CollisionFraction, nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for mi := range modes {
 		var sum float64
 		for r := 0; r < runs; r++ {
-			med := sim.New(channel.Bridge)
-			med.AddNode(sim.Position{X: 0, Z: 1})
-			tx := make([]int, 3)
-			for i := range tx {
-				tx[i] = med.AddNode(sim.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
-			}
-			res := mac.RunNetwork(med, tx, mac.Config{
-				CarrierSense:  mode.cs,
-				PreambleAware: mode.aware,
-				PacketsPerTx:  packets,
-				Seed:          cfg.Seed + int64(r)*7919,
-			})
-			sum += res.CollisionFraction
+			sum += fracs[mi*runs+r]
 		}
 		s.X = append(s.X, float64(mi))
 		s.Y = append(s.Y, sum/float64(runs))

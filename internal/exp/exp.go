@@ -27,6 +27,11 @@ type RunConfig struct {
 	Seed int64
 	// Quick reduces workloads for smoke tests and benchmarks.
 	Quick bool
+	// Workers sizes the parallel experiment engine's worker pool:
+	// 0 = one worker per CPU core, 1 = legacy serial execution,
+	// N > 1 = exactly N workers. Every measurement point derives its
+	// own seed, so the Report is identical for any value.
+	Workers int
 }
 
 // withDefaults fills unset fields.

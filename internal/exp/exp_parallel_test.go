@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestWorkerCount pins the Workers knob semantics: <= 0 means one
+// worker per core, anything else is taken literally.
+func TestWorkerCount(t *testing.T) {
+	if workerCount(1) != 1 {
+		t.Fatal("Workers: 1 must stay serial")
+	}
+	if workerCount(7) != 7 {
+		t.Fatal("explicit worker counts must be honored")
+	}
+	if workerCount(0) < 1 || workerCount(-3) < 1 {
+		t.Fatal("all-cores mode must resolve to at least one worker")
+	}
+}
+
+// TestParallelMapOrderAndValues checks that results land at their
+// submission index regardless of worker count.
+func TestParallelMapOrderAndValues(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		got, err := parallelMap(workers, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: index %d holds %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestParallelMapFirstErrorByIndex checks the deterministic error
+// contract: the failed job with the smallest index wins, no matter
+// which worker hit its error first.
+func TestParallelMapFirstErrorByIndex(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		_, err := parallelMap(workers, 50, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errLow
+			case 31:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want the smallest-index error", workers, err)
+		}
+	}
+}
+
+// TestParallelMapStateWorkerOwnership checks that per-worker state is
+// constructed (not shared across workers) and streams through every
+// job exactly once.
+func TestParallelMapStateWorkerOwnership(t *testing.T) {
+	type state struct{ jobs int }
+	n := 40
+	got, err := parallelMapState(4, n,
+		func() (*state, error) { return &state{}, nil },
+		func(s *state, i int) (*state, error) {
+			s.jobs++
+			return s, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	seen := map[*state]bool{}
+	for _, s := range got {
+		if !seen[s] {
+			seen[s] = true
+			total += s.jobs
+		}
+	}
+	if total != n {
+		t.Fatalf("worker states processed %d jobs in total, want %d", total, n)
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the engine's hard
+// constraint: because every measurement point derives its own seed,
+// the Report must be byte-identical whether the points run serially
+// (Workers: 1) or fan out across the pool (Workers: N). fig09
+// exercises runPoints batches, fig19 raw parallelMap jobs, and fig08
+// parallelMapState with a shared per-worker modem/detector — the
+// shape where result-affecting worker state would corrupt figures,
+// since job-to-worker assignment varies with scheduling.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full harnesses twice")
+	}
+	for _, id := range []string{"fig09", "fig19", "fig08"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serial, err := Run(id, RunConfig{Quick: true, Packets: 8, Seed: 5, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := Run(id, RunConfig{Quick: true, Packets: 8, Seed: 5, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("%s: Workers:1 and Workers:4 reports differ\nserial:   %+v\nparallel: %+v",
+					id, serial, parallel)
+			}
+		})
+	}
+}

@@ -58,18 +58,23 @@ func Fig03aFrequencySelectivityDevices(cfg RunConfig) (Report, error) {
 		{"Pixel4 -> OnePlus8", channel.Pixel4, channel.OnePlus8Pro},
 		{"S9 -> Watch4", channel.GalaxyS9, channel.GalaxyWatch4},
 	}
-	for _, p := range pairs {
+	series, err := parallelMap(cfg.Workers, len(pairs), func(i int) (Series, error) {
+		p := pairs[i]
 		link, err := channel.NewLink(channel.LinkParams{
 			Env: channel.Lake, DistanceM: 5, Seed: cfg.Seed,
 			TxDevice: p.tx, RxDevice: p.rx, NoiseOff: true,
 		})
 		if err != nil {
-			return rep, err
+			return Series{}, err
 		}
 		s := spectrumOfLink(link.Transmit, chirp, 48000, 500, 6000)
 		s.Name = p.name
-		rep.Series = append(rep.Series, s)
+		return s, nil
+	})
+	if err != nil {
+		return rep, err
 	}
+	rep.Series = append(rep.Series, series...)
 	// Headline check: response above 4 kHz diminishes (paper's
 	// conclusion motivating the 1-4 kHz band).
 	s9 := rep.Series[0]
@@ -103,18 +108,22 @@ func Fig03bFrequencySelectivityLocations(cfg RunConfig) (Report, error) {
 		Title: "Frequency selectivity across locations (S9 pair, 10 m)",
 	}
 	chirp := dsp.Chirp(1000, 5000, 0.5, 48000)
-	for loc := 0; loc < 4; loc++ {
+	series, err := parallelMap(cfg.Workers, 4, func(loc int) (Series, error) {
 		link, err := channel.NewLink(channel.LinkParams{
 			Env: channel.Lake, DistanceM: 10, Seed: cfg.Seed + int64(loc)*7907,
 			NoiseOff: true,
 		})
 		if err != nil {
-			return rep, err
+			return Series{}, err
 		}
 		s := spectrumOfLink(link.Transmit, chirp, 48000, 500, 6000)
 		s.Name = fmt.Sprintf("location %d", loc+1)
-		rep.Series = append(rep.Series, s)
+		return s, nil
+	})
+	if err != nil {
+		return rep, err
 	}
+	rep.Series = append(rep.Series, series...)
 	// Quantify how differently the notches fall: mean absolute dB
 	// difference between locations 1 and 2 across the band.
 	a, b := rep.Series[0], rep.Series[1]
@@ -139,29 +148,41 @@ func Fig03cdReciprocity(cfg RunConfig) (Report, error) {
 	}
 	chirp := dsp.Chirp(1000, 3000, 1.0, 48000)
 
-	// Air: reciprocal by construction of the physical medium.
-	fwdAir := channel.NewAirLink(2, channel.GalaxyS9, channel.GalaxyS9, 48000, cfg.Seed)
-	bwdAir := channel.NewAirLink(2, channel.GalaxyS9, channel.GalaxyS9, 48000, cfg.Seed)
-	sAirF := spectrumOfLink(fwdAir.Transmit, chirp, 48000, 1000, 3000)
-	sAirF.Name = "air forward"
-	sAirB := spectrumOfLink(bwdAir.Transmit, chirp, 48000, 1000, 3000)
-	sAirB.Name = "air backward"
-
-	// Water: independent multipath realizations per direction.
-	fwdW, err := channel.NewLink(channel.LinkParams{
-		Env: channel.Lake, DistanceM: 2, Seed: cfg.Seed, NoiseOff: true,
+	// Two jobs — the air pair and the water pair — because each
+	// backward link derives from its forward sibling.
+	pairs, err := parallelMap(cfg.Workers, 2, func(i int) ([2]Series, error) {
+		if i == 0 {
+			// Air: reciprocal by construction of the physical medium.
+			fwdAir := channel.NewAirLink(2, channel.GalaxyS9, channel.GalaxyS9, 48000, cfg.Seed)
+			bwdAir := channel.NewAirLink(2, channel.GalaxyS9, channel.GalaxyS9, 48000, cfg.Seed)
+			sAirF := spectrumOfLink(fwdAir.Transmit, chirp, 48000, 1000, 3000)
+			sAirF.Name = "air forward"
+			sAirB := spectrumOfLink(bwdAir.Transmit, chirp, 48000, 1000, 3000)
+			sAirB.Name = "air backward"
+			return [2]Series{sAirF, sAirB}, nil
+		}
+		// Water: independent multipath realizations per direction.
+		fwdW, err := channel.NewLink(channel.LinkParams{
+			Env: channel.Lake, DistanceM: 2, Seed: cfg.Seed, NoiseOff: true,
+		})
+		if err != nil {
+			return [2]Series{}, err
+		}
+		bwdW, err := fwdW.Reverse()
+		if err != nil {
+			return [2]Series{}, err
+		}
+		sWatF := spectrumOfLink(fwdW.Transmit, chirp, 48000, 1000, 3000)
+		sWatF.Name = "water forward"
+		sWatB := spectrumOfLink(bwdW.Transmit, chirp, 48000, 1000, 3000)
+		sWatB.Name = "water backward"
+		return [2]Series{sWatF, sWatB}, nil
 	})
 	if err != nil {
 		return rep, err
 	}
-	bwdW, err := fwdW.Reverse()
-	if err != nil {
-		return rep, err
-	}
-	sWatF := spectrumOfLink(fwdW.Transmit, chirp, 48000, 1000, 3000)
-	sWatF.Name = "water forward"
-	sWatB := spectrumOfLink(bwdW.Transmit, chirp, 48000, 1000, 3000)
-	sWatB.Name = "water backward"
+	sAirF, sAirB := pairs[0][0], pairs[0][1]
+	sWatF, sWatB := pairs[1][0], pairs[1][1]
 
 	rep.Series = []Series{sAirF, sAirB, sWatF, sWatB}
 

@@ -51,17 +51,30 @@ func Fig04AmbientNoise(cfg RunConfig) (Report, error) {
 		return Series{XLabel: "freq Hz", YLabel: "norm power dB", X: dx, Y: dy}
 	}
 
-	// (a) Devices at the lake.
-	for _, dev := range channel.Devices() {
-		s := noiseSpectrum(channel.Lake, dev, cfg.Seed)
-		s.Name = "device " + dev.Name
-		rep.Series = append(rep.Series, s)
+	// (a) Devices at the lake; (b) locations on a Galaxy S9 — one job
+	// per spectrum, all independent.
+	devices := channel.Devices()
+	environments := channel.Environments()
+	series, err := parallelMap(cfg.Workers, len(devices)+len(environments), func(i int) (Series, error) {
+		if i < len(devices) {
+			s := noiseSpectrum(channel.Lake, devices[i], cfg.Seed)
+			s.Name = "device " + devices[i].Name
+			return s, nil
+		}
+		ei := i - len(devices)
+		s := noiseSpectrum(environments[ei], channel.GalaxyS9, cfg.Seed+int64(ei))
+		s.Name = "location " + environments[ei].Name
+		return s, nil
+	})
+	if err != nil {
+		return rep, err
 	}
+	rep.Series = append(rep.Series, series...)
 
-	// (b) Locations on a Galaxy S9: report in-band noise RMS spread.
+	// In-band noise RMS spread across locations.
 	var lo, hi float64
 	var loName, hiName string
-	for i, env := range channel.Environments() {
+	for i, env := range environments {
 		gen := channel.NewNoiseGen(env, fs, cfg.Seed+int64(i))
 		rms := gen.InBandRMS()
 		if loName == "" || rms < lo {
@@ -70,9 +83,6 @@ func Fig04AmbientNoise(cfg RunConfig) (Report, error) {
 		if hiName == "" || rms > hi {
 			hi, hiName = rms, env.Name
 		}
-		s := noiseSpectrum(env, channel.GalaxyS9, cfg.Seed+int64(i))
-		s.Name = "location " + env.Name
-		rep.Series = append(rep.Series, s)
 	}
 	spread := dsp.AmpDB(hi / lo)
 	rep.Notes = append(rep.Notes,

@@ -25,43 +25,53 @@ func Fig08BERvsSNR(cfg RunConfig) (Report, error) {
 		ID:    "fig08",
 		Title: "Uncoded BER vs per-subcarrier SNR (bridge, full band, BPSK)",
 	}
-	m, err := modem.New(modem.DefaultConfig())
-	if err != nil {
-		return rep, err
-	}
-	band := modem.FullBand(m.Config())
-	det := modem.NewDetector(m)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
 	symbolsPerPacket := 20
 	packets := cfg.Packets / 4
 	if packets < 3 {
 		packets = 3
 	}
+	distances := []float64{5, 10, 20}
 
+	// One job per (distance, packet); workers share a modem/detector
+	// pair, each job derives its payload rng from its own cell seed and
+	// returns a private histogram that is merged below.
 	type bucket struct{ errs, bits int }
-	buckets := map[int]*bucket{}
-
-	for _, dist := range []float64{5, 10, 20} {
-		for p := 0; p < packets; p++ {
+	type fig08State struct {
+		m   *modem.Modem
+		det *modem.Detector
+	}
+	maps, err := parallelMapState(cfg.Workers, len(distances)*packets,
+		func() (fig08State, error) {
+			m, err := modem.New(modem.DefaultConfig())
+			if err != nil {
+				return fig08State{}, err
+			}
+			return fig08State{m: m, det: modem.NewDetector(m)}, nil
+		},
+		func(st fig08State, i int) (map[int]bucket, error) {
+			m, det := st.m, st.det
+			dist := distances[i/packets]
+			p := i % packets
+			band := modem.FullBand(m.Config())
 			link, err := channel.NewLink(channel.LinkParams{
 				Env: channel.Bridge, DistanceM: dist,
 				Seed: cfg.Seed + int64(p)*31 + int64(dist)*977,
 			})
 			if err != nil {
-				return rep, err
+				return nil, err
 			}
 			// SNR estimate from a detected preamble.
 			rxPre := link.TransmitAt(m.Preamble(), 0)
 			d, ok := det.Detect(rxPre)
 			if !ok || d.Offset+m.PreambleLen() > len(rxPre) {
-				continue
+				return nil, nil
 			}
 			est, err := m.EstimateChannel(rxPre[d.Offset : d.Offset+m.PreambleLen()])
 			if err != nil {
-				continue
+				return nil, nil
 			}
 			// Data on every subcarrier.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*131 + int64(dist)*8429))
 			nBits := band.Width() * symbolsPerPacket
 			bits := make([]int, nBits)
 			for i := range bits {
@@ -69,28 +79,41 @@ func Fig08BERvsSNR(cfg RunConfig) (Report, error) {
 			}
 			tx, err := m.ModulateData(bits, band, modem.DataOptions{})
 			if err != nil {
-				return rep, err
+				return nil, err
 			}
 			rxData := link.TransmitAt(tx, 0.5)
 			start := findTrainingStart(m, rxData, band)
 			soft, err := m.DemodulateData(rxData[start:], band, nBits, modem.DataOptions{})
 			if err != nil {
-				continue
+				return nil, nil
 			}
 			hard := modem.HardBits(soft)
+			local := map[int]bucket{}
 			for i := range bits {
 				bin := i % band.Width()
 				key := int(math.Round(est.SNRdB[bin]))
-				b := buckets[key]
-				if b == nil {
-					b = &bucket{}
-					buckets[key] = b
-				}
+				b := local[key]
 				b.bits++
 				if hard[i] != bits[i] {
 					b.errs++
 				}
+				local[key] = b
 			}
+			return local, nil
+		})
+	if err != nil {
+		return rep, err
+	}
+	buckets := map[int]*bucket{}
+	for _, local := range maps {
+		for key, lb := range local {
+			b := buckets[key]
+			if b == nil {
+				b = &bucket{}
+				buckets[key] = b
+			}
+			b.errs += lb.errs
+			b.bits += lb.bits
 		}
 	}
 

@@ -25,15 +25,37 @@ func Fig09Environments(cfg RunConfig) (Report, error) {
 	}
 	envs := []channel.Environment{channel.Bridge, channel.Park, channel.Lake}
 	mcfg := modem.DefaultConfig()
+	bands := fixedBands(mcfg)
+
+	// One batch holds every measurement point of the figure: 3
+	// adaptive environments, then 3 fixed bands x 3 environments, then
+	// the two single-packet SNR-profile probes (Fig 9b,c).
+	var pts []point
+	for ei, env := range envs {
+		pts = append(pts, point{spec: linkSpec{env: env, distanceM: 5},
+			packets: cfg.Packets, seed: cfg.Seed + int64(ei)*13})
+	}
+	for bi := range bands {
+		for ei, env := range envs {
+			b := bands[bi]
+			pts = append(pts, point{spec: linkSpec{env: env, distanceM: 5, fixedBand: &b},
+				packets: cfg.Packets, seed: cfg.Seed + int64(ei)*13})
+		}
+	}
+	profileEnvs := []channel.Environment{channel.Bridge, channel.Lake}
+	for _, env := range profileEnvs {
+		pts = append(pts, point{spec: linkSpec{env: env, distanceM: 5},
+			packets: 1, seed: cfg.Seed})
+	}
+	all, err := runPoints(cfg, pts)
+	if err != nil {
+		return rep, err
+	}
 
 	perSeries := Series{Name: "PER by scheme", XLabel: "env index (0=bridge 1=park 2=lake)", YLabel: "PER"}
 	var adaptivePERs []float64
 	for ei, env := range envs {
-		spec := linkSpec{env: env, distanceM: 5}
-		stats, err := runTrials(spec, cfg.Packets, cfg.Seed+int64(ei)*13)
-		if err != nil {
-			return rep, err
-		}
+		stats := all[ei]
 		rep.Series = append(rep.Series, summarizeCDF(
 			fmt.Sprintf("bitrate CDF %s (adaptive)", env.Name), "bitrate bps", stats.BitratesBPS))
 		perSeries.X = append(perSeries.X, float64(ei))
@@ -46,15 +68,10 @@ func Fig09Environments(cfg RunConfig) (Report, error) {
 	rep.Series = append(rep.Series, perSeries)
 
 	// Fixed-band baselines.
-	for bi, band := range fixedBands(mcfg) {
+	for bi := range bands {
 		s := Series{Name: "PER " + fixedBandNames[bi], XLabel: "env index", YLabel: "PER"}
-		for ei, env := range envs {
-			b := band
-			spec := linkSpec{env: env, distanceM: 5, fixedBand: &b}
-			stats, err := runTrials(spec, cfg.Packets, cfg.Seed+int64(ei)*13)
-			if err != nil {
-				return rep, err
-			}
+		for ei := range envs {
+			stats := all[len(envs)+bi*len(envs)+ei]
 			s.X = append(s.X, float64(ei))
 			s.Y = append(s.Y, stats.PER())
 		}
@@ -62,8 +79,9 @@ func Fig09Environments(cfg RunConfig) (Report, error) {
 	}
 
 	// Example SNR profiles with the selected band (Fig 9b,c).
-	for _, env := range []channel.Environment{channel.Bridge, channel.Lake} {
-		s, bandNote, err := snrProfile(env, 5, cfg.Seed)
+	for pi, env := range profileEnvs {
+		stats := all[len(envs)+len(bands)*len(envs)+pi]
+		s, bandNote, err := snrProfileFromStats(env, stats)
 		if err != nil {
 			return rep, err
 		}
@@ -83,14 +101,9 @@ func Fig09Environments(cfg RunConfig) (Report, error) {
 	return rep, nil
 }
 
-// snrProfile runs one preamble exchange and returns the estimated
-// per-subcarrier SNR plus the band the selector picks.
-func snrProfile(env channel.Environment, dist float64, seed int64) (Series, string, error) {
-	spec := linkSpec{env: env, distanceM: dist}
-	stats, err := runTrials(spec, 1, seed)
-	if err != nil {
-		return Series{}, "", err
-	}
+// snrProfileFromStats extracts the estimated per-subcarrier SNR and
+// the selected band from a single-packet measurement point.
+func snrProfileFromStats(env channel.Environment, stats trialStats) (Series, string, error) {
 	if len(stats.Results) == 0 || stats.Results[0].SNRdB == nil {
 		return Series{}, "", fmt.Errorf("exp: no SNR estimate for %s", env.Name)
 	}

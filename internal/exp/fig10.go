@@ -24,14 +24,29 @@ func Fig10Depth(cfg RunConfig) (Report, error) {
 	}
 	depths := []float64{2, 5, 7}
 	mcfg := modem.DefaultConfig()
+	bands := fixedBands(mcfg)
+
+	var pts []point
+	for di, depth := range depths {
+		pts = append(pts, point{spec: linkSpec{env: channel.Museum, distanceM: 5, depthM: depth},
+			packets: cfg.Packets, seed: cfg.Seed + int64(di)*17})
+	}
+	for bi := range bands {
+		for di, depth := range depths {
+			b := bands[bi]
+			pts = append(pts, point{
+				spec:    linkSpec{env: channel.Museum, distanceM: 5, depthM: depth, fixedBand: &b},
+				packets: cfg.Packets, seed: cfg.Seed + int64(di)*17})
+		}
+	}
+	all, err := runPoints(cfg, pts)
+	if err != nil {
+		return rep, err
+	}
 
 	adaptive := Series{Name: "PER adaptive", XLabel: "depth m", YLabel: "PER"}
 	for di, depth := range depths {
-		spec := linkSpec{env: channel.Museum, distanceM: 5, depthM: depth}
-		stats, err := runTrials(spec, cfg.Packets, cfg.Seed+int64(di)*17)
-		if err != nil {
-			return rep, err
-		}
+		stats := all[di]
 		rep.Series = append(rep.Series, summarizeCDF(
 			fmt.Sprintf("bitrate CDF depth %.0f m", depth), "bitrate bps", stats.BitratesBPS))
 		adaptive.X = append(adaptive.X, depth)
@@ -42,21 +57,12 @@ func Fig10Depth(cfg RunConfig) (Report, error) {
 	}
 	rep.Series = append(rep.Series, adaptive)
 
-	for bi, band := range fixedBands(mcfg) {
+	for bi := range bands {
 		s := Series{Name: "PER " + fixedBandNames[bi], XLabel: "depth m", YLabel: "PER"}
-		var worstFixed float64
 		for di, depth := range depths {
-			b := band
-			spec := linkSpec{env: channel.Museum, distanceM: 5, depthM: depth, fixedBand: &b}
-			stats, err := runTrials(spec, cfg.Packets, cfg.Seed+int64(di)*17)
-			if err != nil {
-				return rep, err
-			}
+			stats := all[len(depths)+bi*len(depths)+di]
 			s.X = append(s.X, depth)
 			s.Y = append(s.Y, stats.PER())
-			if stats.PER() > worstFixed {
-				worstFixed = stats.PER()
-			}
 		}
 		rep.Series = append(rep.Series, s)
 	}
@@ -79,10 +85,11 @@ func Fig11DeepWater(cfg RunConfig) (Report, error) {
 		depthM:    12,
 		casing:    channel.CasingHardCase,
 	}
-	stats, err := runTrials(spec, cfg.Packets, cfg.Seed)
+	all, err := runPoints(cfg, []point{{spec: spec, packets: cfg.Packets, seed: cfg.Seed}})
 	if err != nil {
 		return rep, err
 	}
+	stats := all[0]
 	rep.Series = append(rep.Series,
 		summarizeCDF("bitrate CDF (12 m deep, hard case)", "bitrate bps", stats.BitratesBPS))
 	rep.Notes = append(rep.Notes,

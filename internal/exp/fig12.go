@@ -27,15 +27,29 @@ func Fig12Range(cfg RunConfig) (Report, error) {
 	}
 	distances := []float64{5, 10, 20, 30}
 	mcfg := modem.DefaultConfig()
+	bands := fixedBands(mcfg)
+
+	var pts []point
+	for di, dist := range distances {
+		pts = append(pts, point{spec: linkSpec{env: channel.Lake, distanceM: dist},
+			packets: cfg.Packets, seed: cfg.Seed + int64(di)*19})
+	}
+	for bi := range bands {
+		for di, dist := range distances {
+			b := bands[bi]
+			pts = append(pts, point{spec: linkSpec{env: channel.Lake, distanceM: dist, fixedBand: &b},
+				packets: cfg.Packets, seed: cfg.Seed + int64(di)*19})
+		}
+	}
+	all, err := runPoints(cfg, pts)
+	if err != nil {
+		return rep, err
+	}
 
 	adaptPER := Series{Name: "PER adaptive", XLabel: "distance m", YLabel: "PER"}
 	adaptBER := Series{Name: "coded BER adaptive", XLabel: "distance m", YLabel: "BER"}
 	for di, dist := range distances {
-		spec := linkSpec{env: channel.Lake, distanceM: dist}
-		stats, err := runTrials(spec, cfg.Packets, cfg.Seed+int64(di)*19)
-		if err != nil {
-			return rep, err
-		}
+		stats := all[di]
 		rep.Series = append(rep.Series, summarizeCDF(
 			fmt.Sprintf("bitrate CDF %.0f m", dist), "bitrate bps", stats.BitratesBPS))
 		adaptPER.X = append(adaptPER.X, dist)
@@ -48,16 +62,11 @@ func Fig12Range(cfg RunConfig) (Report, error) {
 	}
 	rep.Series = append(rep.Series, adaptPER, adaptBER)
 
-	for bi, band := range fixedBands(mcfg) {
+	for bi := range bands {
 		per := Series{Name: "PER " + fixedBandNames[bi], XLabel: "distance m", YLabel: "PER"}
 		ber := Series{Name: "coded BER " + fixedBandNames[bi], XLabel: "distance m", YLabel: "BER"}
 		for di, dist := range distances {
-			b := band
-			spec := linkSpec{env: channel.Lake, distanceM: dist, fixedBand: &b}
-			stats, err := runTrials(spec, cfg.Packets, cfg.Seed+int64(di)*19)
-			if err != nil {
-				return rep, err
-			}
+			stats := all[len(distances)+bi*len(distances)+di]
 			per.X = append(per.X, dist)
 			per.Y = append(per.Y, stats.PER())
 			ber.X = append(ber.X, dist)
@@ -78,53 +87,67 @@ func Fig12dLongRange(cfg RunConfig) (Report, error) {
 		Title: "Long-range FSK beacons at the beach (5/10/20 bps)",
 	}
 	distances := []float64{20, 40, 60, 80, 100, 113}
+	rates := []int{20, 10, 5}
 	bitsPerTrial := 60
 	trials := 4
 	if cfg.Quick {
 		bitsPerTrial = 24
 		trials = 2
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, rate := range []int{20, 10, 5} {
+	// One job per (rate, distance) cell; payload bits derive from the
+	// cell's own seed so cells are order-independent.
+	type cell struct{ errs, bits int }
+	jobs := len(rates) * len(distances)
+	cells, err := parallelMap(cfg.Workers, jobs, func(i int) (cell, error) {
+		rate := rates[i/len(distances)]
+		dist := distances[i%len(distances)]
 		b, err := phy.NewBeacon(rate)
 		if err != nil {
-			return rep, err
+			return cell{}, err
 		}
-		s := Series{Name: fmt.Sprintf("BER %d bps", rate), XLabel: "distance m", YLabel: "BER"}
-		for _, dist := range distances {
-			errs, bits := 0, 0
-			for tr := 0; tr < trials; tr++ {
-				link, err := channel.NewLink(channel.LinkParams{
-					Env: channel.Beach, DistanceM: dist,
-					Seed: cfg.Seed + int64(tr)*101 + int64(dist),
-				})
-				if err != nil {
-					return rep, err
-				}
-				payload := make([]int, bitsPerTrial)
-				for i := range payload {
-					payload[i] = rng.Intn(2)
-				}
-				tx, err := b.Encode(payload)
-				if err != nil {
-					return rep, err
-				}
-				rx := link.Transmit(tx)
-				got, _, ok := b.Decode(rx, bitsPerTrial)
-				if !ok {
-					errs += bitsPerTrial // sync loss: all bits lost
-					bits += bitsPerTrial
-					continue
-				}
-				for i := range payload {
-					if got[i] != payload[i] {
-						errs++
-					}
-				}
-				bits += bitsPerTrial
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(rate)*65537 + int64(dist)*257))
+		var c cell
+		for tr := 0; tr < trials; tr++ {
+			link, err := channel.NewLink(channel.LinkParams{
+				Env: channel.Beach, DistanceM: dist,
+				Seed: cfg.Seed + int64(tr)*101 + int64(dist),
+			})
+			if err != nil {
+				return cell{}, err
 			}
+			payload := make([]int, bitsPerTrial)
+			for i := range payload {
+				payload[i] = rng.Intn(2)
+			}
+			tx, err := b.Encode(payload)
+			if err != nil {
+				return cell{}, err
+			}
+			rx := link.Transmit(tx)
+			got, _, ok := b.Decode(rx, bitsPerTrial)
+			if !ok {
+				c.errs += bitsPerTrial // sync loss: all bits lost
+				c.bits += bitsPerTrial
+				continue
+			}
+			for i := range payload {
+				if got[i] != payload[i] {
+					c.errs++
+				}
+			}
+			c.bits += bitsPerTrial
+		}
+		return c, nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for ri, rate := range rates {
+		s := Series{Name: fmt.Sprintf("BER %d bps", rate), XLabel: "distance m", YLabel: "BER"}
+		for di, dist := range distances {
+			c := cells[ri*len(distances)+di]
 			s.X = append(s.X, dist)
-			s.Y = append(s.Y, float64(errs)/float64(bits))
+			s.Y = append(s.Y, float64(c.errs)/float64(c.bits))
 		}
 		rep.Series = append(rep.Series, s)
 		last := s.Y[len(s.Y)-1]
@@ -151,12 +174,17 @@ func Fig13BandVsDistance(cfg RunConfig) (Report, error) {
 	if packets < 5 {
 		packets = 5
 	}
+	var pts []point
 	for di, dist := range distances {
-		spec := linkSpec{env: channel.Lake, distanceM: dist}
-		stats, err := runTrials(spec, packets, cfg.Seed+int64(di)*23)
-		if err != nil {
-			return rep, err
-		}
+		pts = append(pts, point{spec: linkSpec{env: channel.Lake, distanceM: dist},
+			packets: packets, seed: cfg.Seed + int64(di)*23})
+	}
+	all, err := runPoints(cfg, pts)
+	if err != nil {
+		return rep, err
+	}
+	for di, dist := range distances {
+		stats := all[di]
 		var ws []float64
 		for i := range stats.BandLos {
 			ws = append(ws, stats.BandHis[i]-stats.BandLos[i]+1)

@@ -3,8 +3,10 @@ package exp
 import (
 	"fmt"
 
+	"aquago/internal/adapt"
 	"aquago/internal/channel"
 	"aquago/internal/modem"
+	"aquago/internal/phy"
 )
 
 func init() {
@@ -37,12 +39,18 @@ func Fig14Mobility(cfg RunConfig) (Report, error) {
 	berDiff := Series{Name: "uncoded BER with differential coding", XLabel: "motion", YLabel: "BER"}
 	berNoDiff := Series{Name: "uncoded BER without differential coding", XLabel: "motion", YLabel: "BER"}
 
+	var pts []point
 	for mi, mc := range motionCases {
-		spec := linkSpec{env: channel.Lake, distanceM: 5, motion: mc.motion}
-		stats, err := runTrials(spec, cfg.Packets, cfg.Seed+int64(mi)*29)
-		if err != nil {
-			return rep, err
-		}
+		pts = append(pts, point{spec: linkSpec{env: channel.Lake, distanceM: 5, motion: mc.motion},
+			packets: cfg.Packets, seed: cfg.Seed + int64(mi)*29})
+	}
+	all, err := runPoints(cfg, pts)
+	if err != nil {
+		return rep, err
+	}
+
+	for mi, mc := range motionCases {
+		stats := all[mi]
 		rep.Series = append(rep.Series, summarizeCDF(
 			"bitrate CDF "+mc.name, "bitrate bps", stats.BitratesBPS))
 		per.X = append(per.X, float64(mi))
@@ -76,74 +84,94 @@ func Fig14Mobility(cfg RunConfig) (Report, error) {
 // mobilityBER transmits long data streams through a moving lake
 // channel and returns the uncoded BER with and without differential
 // coding. The band is selected adaptively per trial from a preamble,
-// as the system would.
+// as the system would. Trials run on the worker pool; each worker owns
+// its modem/detector/selector and each trial derives its own payload
+// rng, so the tallies are independent of scheduling.
 func mobilityBER(motion channel.Motion, cfg RunConfig, caseSeed int64) (withDiff, withoutDiff float64, err error) {
-	m, err := modem.New(modem.DefaultConfig())
-	if err != nil {
-		return 0, 0, err
-	}
-	det := modem.NewDetector(m)
-	sel := newSelector()
 	trials := 6
 	symbols := 10
 	if cfg.Quick {
 		trials = 3
 	}
-	var errsD, errsND, bits int
-	rng := newRng(cfg.Seed*77 + caseSeed)
-	for trial := 0; trial < trials; trial++ {
-		for _, nd := range []bool{false, true} {
-			link, err := channel.NewLink(channel.LinkParams{
-				Env: channel.Lake, DistanceM: 5, Motion: motion,
-				Seed: cfg.Seed + int64(trial)*131 + caseSeed,
-			})
+	type mobState struct {
+		m   *modem.Modem
+		det *modem.Detector
+		sel *adapt.Selector
+	}
+	type tally struct{ errsD, errsND, bits int }
+	results, err := parallelMapState(cfg.Workers, trials,
+		func() (mobState, error) {
+			m, err := modem.New(modem.DefaultConfig())
 			if err != nil {
-				return 0, 0, err
+				return mobState{}, err
 			}
-			// Band selection from a preamble through this channel.
-			rxPre := link.TransmitAt(m.Preamble(), 0)
-			d, ok := det.Detect(rxPre)
-			if !ok || d.Offset+m.PreambleLen() > len(rxPre) {
-				continue
-			}
-			est, err := m.EstimateChannel(rxPre[d.Offset : d.Offset+m.PreambleLen()])
-			if err != nil {
-				continue
-			}
-			band, ok := sel.Select(est.SNRdB)
-			if !ok {
-				continue
-			}
-			nBits := band.Width() * symbols
-			payload := make([]int, nBits)
-			for i := range payload {
-				payload[i] = rng.Intn(2)
-			}
-			opts := modem.DataOptions{NoDifferential: nd}
-			tx, err := m.ModulateData(payload, band, opts)
-			if err != nil {
-				return 0, 0, err
-			}
-			rx := link.TransmitAt(tx, 0.4)
-			start := findTrainingStart(m, rx, band)
-			soft, err := m.DemodulateData(rx[start:], band, nBits, opts)
-			if err != nil {
-				continue
-			}
-			hard := modem.HardBits(soft)
-			e := 0
-			for i := range payload {
-				if hard[i] != payload[i] {
-					e++
+			return mobState{m: m, det: modem.NewDetector(m), sel: newSelector()}, nil
+		},
+		func(st mobState, trial int) (tally, error) {
+			var t tally
+			rng := newRng(cfg.Seed*77 + caseSeed + int64(trial)*524287)
+			for _, nd := range []bool{false, true} {
+				link, err := channel.NewLink(channel.LinkParams{
+					Env: channel.Lake, DistanceM: 5, Motion: motion,
+					Seed: cfg.Seed + int64(trial)*131 + caseSeed,
+				})
+				if err != nil {
+					return tally{}, err
+				}
+				// Band selection from a preamble through this channel.
+				rxPre := link.TransmitAt(st.m.Preamble(), 0)
+				d, ok := st.det.Detect(rxPre)
+				if !ok || d.Offset+st.m.PreambleLen() > len(rxPre) {
+					continue
+				}
+				est, err := st.m.EstimateChannel(rxPre[d.Offset : d.Offset+st.m.PreambleLen()])
+				if err != nil {
+					continue
+				}
+				band, ok := st.sel.Select(est.SNRdB)
+				if !ok {
+					continue
+				}
+				nBits := band.Width() * symbols
+				payload := make([]int, nBits)
+				for i := range payload {
+					payload[i] = rng.Intn(2)
+				}
+				opts := modem.DataOptions{NoDifferential: nd}
+				tx, err := st.m.ModulateData(payload, band, opts)
+				if err != nil {
+					return tally{}, err
+				}
+				rx := link.TransmitAt(tx, 0.4)
+				start := findTrainingStart(st.m, rx, band)
+				soft, err := st.m.DemodulateData(rx[start:], band, nBits, opts)
+				if err != nil {
+					continue
+				}
+				hard := modem.HardBits(soft)
+				e := 0
+				for i := range payload {
+					if hard[i] != payload[i] {
+						e++
+					}
+				}
+				if nd {
+					t.errsND += e
+				} else {
+					t.errsD += e
+					t.bits += nBits
 				}
 			}
-			if nd {
-				errsND += e
-			} else {
-				errsD += e
-				bits += nBits
-			}
-		}
+			return t, nil
+		})
+	if err != nil {
+		return 0, 0, err
+	}
+	var errsD, errsND, bits int
+	for _, t := range results {
+		errsD += t.errsD
+		errsND += t.errsND
+		bits += t.bits
 	}
 	if bits == 0 {
 		return 0, 0, nil
@@ -163,16 +191,30 @@ func Fig15Orientation(cfg RunConfig) (Report, error) {
 	}
 	angles := []float64{0, 45, 90, 135, 180}
 	mcfg := modem.DefaultConfig()
+	full := fixedBands(mcfg)[0]
+	// Same seed across angles: the paper rotates one phone at one
+	// spot, so only the orientation differs between sweeps. The first
+	// len(angles) points are adaptive, the rest the full-band baseline.
+	var pts []point
+	for _, ang := range angles {
+		pts = append(pts, point{spec: linkSpec{env: channel.Bridge, distanceM: 5, orientDeg: ang},
+			packets: cfg.Packets, seed: cfg.Seed})
+	}
+	for _, ang := range angles {
+		b := full
+		pts = append(pts, point{
+			spec:    linkSpec{env: channel.Bridge, distanceM: 5, orientDeg: ang, fixedBand: &b},
+			packets: cfg.Packets, seed: cfg.Seed})
+	}
+	all, err := runPoints(cfg, pts)
+	if err != nil {
+		return rep, err
+	}
+
 	medians := Series{Name: "median bitrate vs angle", XLabel: "azimuth deg", YLabel: "bps"}
 	per := Series{Name: "PER adaptive", XLabel: "azimuth deg", YLabel: "PER"}
-	for _, ang := range angles {
-		// Same seed across angles: the paper rotates one phone at one
-		// spot, so only the orientation differs between sweeps.
-		spec := linkSpec{env: channel.Bridge, distanceM: 5, orientDeg: ang}
-		stats, err := runTrials(spec, cfg.Packets, cfg.Seed)
-		if err != nil {
-			return rep, err
-		}
+	for ai, ang := range angles {
+		stats := all[ai]
 		rep.Series = append(rep.Series, summarizeCDF(
 			fmt.Sprintf("bitrate CDF %.0f deg", ang), "bitrate bps", stats.BitratesBPS))
 		medians.X = append(medians.X, ang)
@@ -183,15 +225,9 @@ func Fig15Orientation(cfg RunConfig) (Report, error) {
 	rep.Series = append(rep.Series, medians, per)
 
 	// One fixed baseline for contrast (full band).
-	full := fixedBands(mcfg)[0]
 	fixedPER := Series{Name: "PER " + fixedBandNames[0], XLabel: "azimuth deg", YLabel: "PER"}
-	for _, ang := range angles {
-		b := full
-		spec := linkSpec{env: channel.Bridge, distanceM: 5, orientDeg: ang, fixedBand: &b}
-		stats, err := runTrials(spec, cfg.Packets, cfg.Seed)
-		if err != nil {
-			return rep, err
-		}
+	for ai, ang := range angles {
+		stats := all[len(angles)+ai]
 		fixedPER.X = append(fixedPER.X, ang)
 		fixedPER.Y = append(fixedPER.Y, stats.PER())
 	}
@@ -212,31 +248,48 @@ func Fig16ChannelStability(cfg RunConfig) (Report, error) {
 		ID:    "fig16",
 		Title: "Channel stability: min SNR on a second preamble over the selected band (lake, 10 m)",
 	}
-	m, err := modem.New(modem.DefaultConfig())
-	if err != nil {
-		return rep, err
-	}
 	trials := cfg.Packets / 2
 	if trials < 8 {
 		trials = 8
 	}
+	// One job per (motion case, trial); each worker owns a protocol
+	// instance (the modem's FFT plan is not goroutine-safe).
+	type probe struct {
+		minSNR float64
+		ok     bool
+	}
+	probes, err := parallelMapState(cfg.Workers, len(motionCases)*trials,
+		func() (*phy.Protocol, error) {
+			m, err := modem.New(modem.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			return newProtocol(m), nil
+		},
+		func(proto *phy.Protocol, i int) (probe, error) {
+			mi, tr := i/trials, i%trials
+			med, err := newMedium(linkSpec{env: channel.Lake, distanceM: 10, motion: motionCases[mi].motion},
+				cfg.Seed+int64(mi)*37+int64(tr)*411)
+			if err != nil {
+				return probe{}, err
+			}
+			minSNR, _, ok := proto.ProbeChannelStability(med, float64(tr)*0.9, 0.2)
+			return probe{minSNR: minSNR, ok: ok}, nil
+		})
+	if err != nil {
+		return rep, err
+	}
 	for mi, mc := range motionCases {
-		proto := newProtocol(m)
 		s := Series{Name: "min SNR " + mc.name, XLabel: "trial", YLabel: "dB"}
 		below := 0
 		for tr := 0; tr < trials; tr++ {
-			med, err := newMedium(linkSpec{env: channel.Lake, distanceM: 10, motion: mc.motion},
-				cfg.Seed+int64(mi)*37+int64(tr)*411)
-			if err != nil {
-				return rep, err
-			}
-			minSNR, _, ok := proto.ProbeChannelStability(med, float64(tr)*0.9, 0.2)
-			if !ok {
+			p := probes[mi*trials+tr]
+			if !p.ok {
 				continue
 			}
 			s.X = append(s.X, float64(len(s.X)))
-			s.Y = append(s.Y, minSNR)
-			if minSNR < 4 {
+			s.Y = append(s.Y, p.minSNR)
+			if p.minSNR < 4 {
 				below++
 			}
 		}

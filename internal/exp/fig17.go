@@ -25,11 +25,10 @@ func Fig17SubcarrierSpacing(cfg RunConfig) (Report, error) {
 		Title: "Effect of OFDM subcarrier spacing (lake, 5 and 20 m)",
 	}
 	spacings := []int{50, 25, 10}
-	for _, dist := range []float64{5, 20} {
-		per := Series{Name: fmt.Sprintf("PER vs spacing at %.0f m", dist),
-			XLabel: "spacing Hz", YLabel: "PER"}
+	distances := []float64{5, 20}
+	var pts []point
+	for _, dist := range distances {
 		for si, sp := range spacings {
-			spec := linkSpec{env: channel.Lake, distanceM: dist, spacingHz: sp}
 			// Finer spacings mean longer symbols; scale packets down
 			// to keep runtimes comparable.
 			packets := cfg.Packets
@@ -39,10 +38,19 @@ func Fig17SubcarrierSpacing(cfg RunConfig) (Report, error) {
 					packets = 5
 				}
 			}
-			stats, err := runTrials(spec, packets, cfg.Seed+int64(si)*41+int64(dist))
-			if err != nil {
-				return rep, err
-			}
+			pts = append(pts, point{spec: linkSpec{env: channel.Lake, distanceM: dist, spacingHz: sp},
+				packets: packets, seed: cfg.Seed + int64(si)*41 + int64(dist)})
+		}
+	}
+	all, err := runPoints(cfg, pts)
+	if err != nil {
+		return rep, err
+	}
+	for di, dist := range distances {
+		per := Series{Name: fmt.Sprintf("PER vs spacing at %.0f m", dist),
+			XLabel: "spacing Hz", YLabel: "PER"}
+		for si, sp := range spacings {
+			stats := all[di*len(spacings)+si]
 			per.X = append(per.X, float64(sp))
 			per.Y = append(per.Y, stats.PER())
 			rep.Series = append(rep.Series, summarizeCDF(
@@ -67,28 +75,37 @@ func Fig18CaseAir(cfg RunConfig) (Report, error) {
 		Title: "Effect of air in the waterproof case (frequency response)",
 	}
 	chirp := dsp.Chirp(1000, 5000, 0.5, 48000)
-	var bandPowers []float64
-	for _, tc := range []struct {
+	cases := []struct {
 		name   string
 		casing channel.Casing
 	}{
 		{"air expelled", channel.CasingSoftPouch},
 		{"air filled", channel.CasingSoftPouchAir},
-	} {
+	}
+	type caseResult struct {
+		s     Series
+		power float64
+	}
+	results, err := parallelMap(cfg.Workers, len(cases), func(i int) (caseResult, error) {
 		link, err := channel.NewLink(channel.LinkParams{
 			Env: channel.Lake, DistanceM: 5, Seed: cfg.Seed,
-			Casing: tc.casing, NoiseOff: true,
+			Casing: cases[i].casing, NoiseOff: true,
 		})
 		if err != nil {
-			return rep, err
+			return caseResult{}, err
 		}
 		s := spectrumOfLink(link.Transmit, chirp, 48000, 500, 6000)
-		s.Name = "response " + tc.name
-		rep.Series = append(rep.Series, s)
+		s.Name = "response " + cases[i].name
 		rx := link.Transmit(chirp)
-		bandPowers = append(bandPowers, dsp.BandPower(rx, 48000, 1000, 4000))
+		return caseResult{s: s, power: dsp.BandPower(rx, 48000, 1000, 4000)}, nil
+	})
+	if err != nil {
+		return rep, err
 	}
-	diff := dsp.DB(bandPowers[1]/bandPowers[0])
+	for _, r := range results {
+		rep.Series = append(rep.Series, r.s)
+	}
+	diff := dsp.DB(results[1].power / results[0].power)
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"average 1-4 kHz power difference with air: %.1f dB (paper: not significantly different)", diff))
 	return rep, nil
@@ -109,24 +126,37 @@ func Fig19MAC(cfg RunConfig) (Report, error) {
 		packets = 40
 		runs = 2
 	}
-	for _, nTx := range []int{2, 3} {
+	// One job per (transmitter count, carrier sense, run); every MAC
+	// simulation already derives its own seed.
+	txCounts := []int{2, 3}
+	senses := []bool{false, true}
+	fracs, err := parallelMap(cfg.Workers, len(txCounts)*len(senses)*runs, func(i int) (float64, error) {
+		nTx := txCounts[i/(len(senses)*runs)]
+		cs := senses[i/runs%len(senses)]
+		r := i % runs
+		med := sim.New(channel.Bridge)
+		med.AddNode(sim.Position{X: 0, Z: 1}) // receiver
+		tx := make([]int, nTx)
+		for i := range tx {
+			tx[i] = med.AddNode(sim.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
+		}
+		res := mac.RunNetwork(med, tx, mac.Config{
+			CarrierSense: cs,
+			PacketsPerTx: packets,
+			Seed:         cfg.Seed + int64(r)*7919 + int64(nTx),
+		})
+		return res.CollisionFraction, nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	for ti, nTx := range txCounts {
 		s := Series{Name: fmt.Sprintf("%d transmitters", nTx),
 			XLabel: "carrier sense (0=off 1=on)", YLabel: "collision fraction"}
-		for ci, cs := range []bool{false, true} {
+		for ci := range senses {
 			var sum float64
 			for r := 0; r < runs; r++ {
-				med := sim.New(channel.Bridge)
-				med.AddNode(sim.Position{X: 0, Z: 1}) // receiver
-				tx := make([]int, nTx)
-				for i := range tx {
-					tx[i] = med.AddNode(sim.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
-				}
-				res := mac.RunNetwork(med, tx, mac.Config{
-					CarrierSense: cs,
-					PacketsPerTx: packets,
-					Seed:         cfg.Seed + int64(r)*7919 + int64(nTx),
-				})
-				sum += res.CollisionFraction
+				sum += fracs[(ti*len(senses)+ci)*runs+r]
 			}
 			s.X = append(s.X, float64(ci))
 			s.Y = append(s.Y, sum/float64(runs))

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel experiment engine. Every harness reduces
+// its workload to independent jobs — most commonly measurement points
+// (a linkSpec plus a packet budget and a derived seed) — and submits
+// them to a worker pool sized by RunConfig.Workers. Three properties
+// make this safe:
+//
+//  1. Each job derives all of its randomness from its own seed, so
+//     results do not depend on execution order. Workers: 1 and
+//     Workers: N produce deeply equal Reports (see exp_parallel_test).
+//  2. Results are collected by job index, so assembly order equals
+//     submission order regardless of which worker finished first.
+//  3. Workers never share DSP state: a dsp.Plan (and everything built
+//     on one — modem, protocol, link) is not goroutine-safe, so jobs
+//     construct their own instances, or use parallelMapState to share
+//     one instance per worker across that worker's jobs.
+
+// point is one measurement point: a link configuration plus the packet
+// count and seed that drive it. It is the scheduling unit of the
+// engine — the paper's evaluation is hundreds of such points, all
+// independent by construction.
+type point struct {
+	spec    linkSpec
+	packets int
+	seed    int64
+}
+
+// runPoints executes every measurement point on the worker pool and
+// returns per-point stats in submission order.
+func runPoints(cfg RunConfig, pts []point) ([]trialStats, error) {
+	return parallelMap(cfg.Workers, len(pts), func(i int) (trialStats, error) {
+		return runTrials(pts[i].spec, pts[i].packets, pts[i].seed)
+	})
+}
+
+// workerCount resolves the Workers knob: <= 0 means one worker per
+// CPU core, 1 means legacy serial execution.
+func workerCount(w int) int {
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelMap runs n index-addressed jobs across the worker pool and
+// returns their results in index order. Jobs must be independent: any
+// shared state they touch must be read-only. On error the batch
+// reports the failed job with the smallest index (deterministic
+// regardless of scheduling); remaining jobs may still have run.
+func parallelMap[R any](workers, n int, job func(i int) (R, error)) ([]R, error) {
+	return parallelMapState(workers, n,
+		func() (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, i int) (R, error) { return job(i) })
+}
+
+// parallelMapState is parallelMap for jobs that stream through
+// expensive per-worker state (a modem, a detector, a protocol): each
+// worker constructs its own state once and reuses it for every job it
+// pulls. The state must act as a pure computation cache — identical
+// states must yield identical results — so that worker count and job
+// interleaving cannot change the output.
+func parallelMapState[S, R any](workers, n int, newState func() (S, error), job func(s S, i int) (R, error)) ([]R, error) {
+	workers = workerCount(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if workers <= 1 {
+		s, err := newState()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			r, err := job(s, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := newState()
+			if err != nil {
+				// Charge the construction failure to the next
+				// unclaimed job so the batch reports it.
+				if i := int(next.Add(1)) - 1; i < n {
+					errs[i] = err
+				}
+				failed.Store(true)
+				return
+			}
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = job(s, i)
+				if errs[i] != nil {
+					// Fail fast: stop claiming new jobs so a bad
+					// batch aborts in one job's latency instead of
+					// running to completion. In-flight jobs finish.
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the recorded failure with the smallest index. With a
+	// single failing job this is deterministic; with several, early
+	// abort may vary which ones ran, so the reported error can be any
+	// of them — acceptable for an exceptional path.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -26,36 +26,48 @@ func TabPreambleDetection(cfg RunConfig) (Report, error) {
 		ID:    "tab-preamble",
 		Title: "Preamble detection and feedback decoding rates (lake)",
 	}
-	m, err := modem.New(modem.DefaultConfig())
-	if err != nil {
-		return rep, err
-	}
-	det := modem.NewDetector(m)
-	sel := adapt.NewSelector()
-	fb := adapt.NewFeedback(m)
 	preambles := 180
 	if cfg.Quick {
 		preambles = 30
 	}
+	distances := []float64{5, 10, 20, 30}
 
-	detection := Series{Name: "preamble detection rate", XLabel: "distance m", YLabel: "rate"}
-	fbErrors := Series{Name: "feedback decode error rate", XLabel: "distance m", YLabel: "rate"}
-	for _, dist := range []float64{5, 10, 20, 30} {
-		detected := 0
-		fbErrs, fbTot := 0, 0
-		for tr := 0; tr < preambles; tr++ {
+	// One job per (distance, preamble); workers share a
+	// modem/detector/selector/feedback quartet.
+	type preambleState struct {
+		m   *modem.Modem
+		det *modem.Detector
+		sel *adapt.Selector
+		fb  *adapt.Feedback
+	}
+	type outcome struct {
+		detected       bool
+		fbTried, fbErr bool
+	}
+	outcomes, err := parallelMapState(cfg.Workers, len(distances)*preambles,
+		func() (preambleState, error) {
+			m, err := modem.New(modem.DefaultConfig())
+			if err != nil {
+				return preambleState{}, err
+			}
+			return preambleState{m: m, det: modem.NewDetector(m),
+				sel: adapt.NewSelector(), fb: adapt.NewFeedback(m)}, nil
+		},
+		func(st preambleState, i int) (outcome, error) {
+			m := st.m
+			dist := distances[i/preambles]
+			tr := i % preambles
+			var o outcome
 			link, err := channel.NewLink(channel.LinkParams{
 				Env: channel.Lake, DistanceM: dist,
 				Seed: cfg.Seed + int64(tr)*53 + int64(dist)*7,
 			})
 			if err != nil {
-				return rep, err
+				return o, err
 			}
 			rx := link.TransmitAt(m.Preamble(), float64(tr))
-			d, ok := det.Detect(rx)
-			if ok {
-				detected++
-			}
+			d, ok := st.det.Detect(rx)
+			o.detected = ok
 			// Feedback measurement mirrors the protocol: Bob selects a
 			// band from the received preamble (the paper's feedback
 			// always carries *selected* bands, never arbitrary ones)
@@ -63,24 +75,44 @@ func TabPreambleDetection(cfg RunConfig) (Report, error) {
 			if ok && tr%3 == 0 && d.Offset+m.PreambleLen() <= len(rx) {
 				est, err := m.EstimateChannel(rx[d.Offset : d.Offset+m.PreambleLen()])
 				if err != nil {
-					return rep, err
+					return o, err
 				}
-				band, found := sel.Select(est.SNRdB)
+				band, found := st.sel.Select(est.SNRdB)
 				if !found {
-					continue
+					return o, nil
 				}
 				rev, err := link.Reverse()
 				if err != nil {
-					return rep, err
+					return o, err
 				}
-				sym, err := fb.Encode(band)
+				sym, err := st.fb.Encode(band)
 				if err != nil {
-					return rep, err
+					return o, err
 				}
 				rxFB := rev.TransmitAt(sym, float64(tr))
-				got, ok := fb.Decode(rxFB, m.Config().N(), 8)
+				got, ok := st.fb.Decode(rxFB, m.Config().N(), 8)
+				o.fbTried = true
+				o.fbErr = !ok || got != band
+			}
+			return o, nil
+		})
+	if err != nil {
+		return rep, err
+	}
+
+	detection := Series{Name: "preamble detection rate", XLabel: "distance m", YLabel: "rate"}
+	fbErrors := Series{Name: "feedback decode error rate", XLabel: "distance m", YLabel: "rate"}
+	for di, dist := range distances {
+		detected := 0
+		fbErrs, fbTot := 0, 0
+		for tr := 0; tr < preambles; tr++ {
+			o := outcomes[di*preambles+tr]
+			if o.detected {
+				detected++
+			}
+			if o.fbTried {
 				fbTot++
-				if !ok || got != band {
+				if o.fbErr {
 					fbErrs++
 				}
 			}
@@ -110,6 +142,8 @@ func TabRuntime(cfg RunConfig) (Report, error) {
 		ID:    "tab-runtime",
 		Title: "Runtime of the real-time code paths (mean over repeated runs)",
 	}
+	// Deliberately serial: this harness measures wall time per path,
+	// and sharing cores with pool workers would corrupt the numbers.
 	m, err := modem.New(modem.DefaultConfig())
 	if err != nil {
 		return rep, err

@@ -62,6 +62,12 @@ func (s trialStats) CodedBER() float64 {
 // channel at a later virtual time; every `rePlacePeriod` packets the
 // link is rebuilt with a fresh seed, mirroring the paper's procedure
 // of re-submerging the phones every 25 packets.
+//
+// runTrials is the executor behind the parallel engine's measurement
+// points (pool.go): it builds its own modem and protocol, derives all
+// randomness from the seed argument, and therefore produces the same
+// stats no matter which worker runs it. Harnesses should submit
+// points through runPoints rather than calling it directly.
 func runTrials(spec linkSpec, packets int, seed int64) (trialStats, error) {
 	const rePlacePeriod = 25
 	var stats trialStats

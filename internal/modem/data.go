@@ -54,18 +54,22 @@ func (m *Modem) ModulateData(bits []int, b Band, opts DataOptions) ([]float64, e
 		return nil, fmt.Errorf("modem: no data bits")
 	}
 	// Pad to fill the final symbol.
-	padded := make([]int, nSym*l)
+	padded := m.paddedScratch(nSym * l)
 	copy(padded, bits)
 
-	out := make([]float64, 0, (1+nSym)*m.cfg.SymbolLen())
-	train, err := m.TrainingSymbol(b)
-	if err != nil {
+	symLen := m.cfg.SymbolLen()
+	out := make([]float64, (1+nSym)*symLen)
+	if err := m.trainingSymbolInto(b, out[:symLen]); err != nil {
 		return nil, err
 	}
-	out = append(out, train...)
 
-	prev := m.TrainingBins(b) // differential reference
-	bins := make([]complex128, m.cfg.NumBins())
+	bins, prev := m.dataScratch()
+	for i := range prev {
+		prev[i] = 0
+	}
+	for i := b.Lo; i <= b.Hi; i++ {
+		prev[i] = m.trBins[i] // differential reference
+	}
 	for s := 0; s < nSym; s++ {
 		for i := range bins {
 			bins[i] = 0
@@ -79,11 +83,9 @@ func (m *Modem) ModulateData(bits []int, b Band, opts DataOptions) ([]float64, e
 				bins[k] = prev[k] * sign
 			}
 		}
-		sym, err := m.ModulateSymbol(bins)
-		if err != nil {
+		if err := m.modulateSymbolInto(bins, out[(1+s)*symLen:(2+s)*symLen]); err != nil {
 			return nil, err
 		}
-		out = append(out, sym...)
 		if !opts.NoDifferential {
 			copy(prev, bins)
 		}
@@ -117,8 +119,8 @@ func (m *Modem) DemodulateData(rx []float64, b Band, nBits int, opts DataOptions
 	// Equalize using the training symbol.
 	work := rx
 	if !opts.NoEqualizer {
-		ref, err := m.TrainingSymbol(b)
-		if err != nil {
+		ref := m.refScratch()
+		if err := m.trainingSymbolInto(b, ref); err != nil {
 			return nil, err
 		}
 		dsp.Scale(ref, math.Sqrt(2/float64(l)))
@@ -139,14 +141,9 @@ func (m *Modem) DemodulateData(rx []float64, b Band, nBits int, opts DataOptions
 	}
 
 	// Demodulate all symbols (training first).
-	prev := make([]complex128, m.cfg.NumBins())
-	{
-		body := work[cp : cp+n]
-		bins, err := m.DemodSymbol(body)
-		if err != nil {
-			return nil, err
-		}
-		copy(prev, bins)
+	cur, prev := m.dataScratch()
+	if err := m.demodSymbolInto(work[cp:cp+n], prev); err != nil {
+		return nil, err
 	}
 	// Channel estimate for the coherent (non-differential) path.
 	var hRef []complex128
@@ -166,15 +163,12 @@ func (m *Modem) DemodulateData(rx []float64, b Band, nBits int, opts DataOptions
 	// Only a single per-packet scale (the mean magnitude) normalizes
 	// the range.
 	soft := make([]float64, nSym*l)
-	cur := make([]complex128, m.cfg.NumBins())
 	var magSum float64
 	for s := 0; s < nSym; s++ {
 		start := (1+s)*symLen + cp
-		bins, err := m.DemodSymbol(work[start : start+n])
-		if err != nil {
+		if err := m.demodSymbolInto(work[start:start+n], cur); err != nil {
 			return nil, err
 		}
-		copy(cur, bins)
 		for j := 0; j < l; j++ {
 			k := b.Lo + j
 			var v, mag float64

@@ -152,6 +152,61 @@ type Modem struct {
 	preamble []float64    // full preamble waveform (8 symbols, no CP)
 	preSym   []float64    // one preamble symbol (body only)
 	preScale float64      // per-bin amplitude after unit-RMS normalization
+
+	// Reusable hot-path buffers. The Modem is single-goroutine by
+	// contract (each worker of the parallel experiment engine owns its
+	// own instance), so the per-symbol modulate/demodulate loops can
+	// recycle these instead of allocating per symbol. Each buffer has
+	// exactly one owner path so they never alias:
+	//   symBins   — trainingSymbolInto's transient constellation
+	//   dataBins  — ModulateData/DemodulateData current-symbol bins
+	//   prevBins  — the differential phase reference
+	//   refSym    — DemodulateData's scaled training reference
+	//   padded    — ModulateData's padded bit grid
+	symBins  []complex128
+	dataBins []complex128
+	prevBins []complex128
+	refSym   []float64
+	padded   []int
+}
+
+// scratchBins returns the transient constellation buffer used by
+// trainingSymbolInto, sized on first use.
+func (m *Modem) scratchBins() []complex128 {
+	if m.symBins == nil {
+		m.symBins = make([]complex128, m.cfg.NumBins())
+	}
+	return m.symBins
+}
+
+// dataScratch returns the (current, previous) bin buffers for the
+// per-symbol data loops, sized on first use.
+func (m *Modem) dataScratch() (cur, prev []complex128) {
+	if m.dataBins == nil {
+		m.dataBins = make([]complex128, m.cfg.NumBins())
+		m.prevBins = make([]complex128, m.cfg.NumBins())
+	}
+	return m.dataBins, m.prevBins
+}
+
+// refScratch returns a SymbolLen buffer for the training reference.
+func (m *Modem) refScratch() []float64 {
+	if m.refSym == nil {
+		m.refSym = make([]float64, m.cfg.SymbolLen())
+	}
+	return m.refSym
+}
+
+// paddedScratch returns an int grid of at least n entries, zeroed.
+func (m *Modem) paddedScratch(n int) []int {
+	if cap(m.padded) < n {
+		m.padded = make([]int, n)
+	}
+	m.padded = m.padded[:n]
+	for i := range m.padded {
+		m.padded[i] = 0
+	}
+	return m.padded
 }
 
 // New builds a modem for the configuration. It returns an error if

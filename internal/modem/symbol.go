@@ -62,26 +62,51 @@ func (p *fftPlan) analyze(body []float64, binLow, numBins int, out []complex128)
 // data-bin values. bins must have length NumBins; entries set to 0
 // leave the corresponding subcarrier silent.
 func (m *Modem) ModulateSymbol(bins []complex128) ([]float64, error) {
+	out := make([]float64, m.cfg.SymbolLen())
+	if err := m.modulateSymbolInto(bins, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// modulateSymbolInto is ModulateSymbol writing into a caller-provided
+// buffer of exactly SymbolLen samples, so the per-symbol hot path can
+// reuse packet-sized buffers instead of allocating every symbol.
+func (m *Modem) modulateSymbolInto(bins []complex128, out []float64) error {
 	if len(bins) != m.cfg.NumBins() {
-		return nil, fmt.Errorf("modem: %d bin values, want %d", len(bins), m.cfg.NumBins())
+		return fmt.Errorf("modem: %d bin values, want %d", len(bins), m.cfg.NumBins())
 	}
 	n := m.cfg.N()
 	cp := m.cfg.CPLen
-	out := make([]float64, cp+n)
+	if len(out) != cp+n {
+		return fmt.Errorf("modem: symbol buffer %d samples, want %d", len(out), cp+n)
+	}
 	m.plan.synthesize(bins, m.cfg.BinLow(), out[cp:])
 	copy(out[:cp], out[cp+n-cp:]) // cyclic prefix = tail of the body
-	return out, nil
+	return nil
 }
 
 // DemodSymbol recovers data-bin values from a received symbol body
 // (exactly N samples, cyclic prefix already stripped).
 func (m *Modem) DemodSymbol(body []float64) ([]complex128, error) {
-	if len(body) != m.cfg.N() {
-		return nil, fmt.Errorf("modem: symbol body %d samples, want %d", len(body), m.cfg.N())
-	}
 	out := make([]complex128, m.cfg.NumBins())
-	m.plan.analyze(body, m.cfg.BinLow(), m.cfg.NumBins(), out)
+	if err := m.demodSymbolInto(body, out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// demodSymbolInto is DemodSymbol writing into a caller-provided buffer
+// of exactly NumBins values (the allocation-free per-symbol path).
+func (m *Modem) demodSymbolInto(body []float64, out []complex128) error {
+	if len(body) != m.cfg.N() {
+		return fmt.Errorf("modem: symbol body %d samples, want %d", len(body), m.cfg.N())
+	}
+	if len(out) != m.cfg.NumBins() {
+		return fmt.Errorf("modem: bin buffer %d values, want %d", len(out), m.cfg.NumBins())
+	}
+	m.plan.analyze(body, m.cfg.BinLow(), m.cfg.NumBins(), out)
+	return nil
 }
 
 // buildPreamble constructs the 8-symbol preamble: one CAZAC-filled
@@ -115,14 +140,27 @@ func (m *Modem) buildPreamble() {
 // The same waveform is used by the receiver to estimate the MMSE
 // equalizer and as the differential-coding phase reference.
 func (m *Modem) TrainingSymbol(b Band) ([]float64, error) {
-	if !b.Valid(m.cfg.NumBins()) {
-		return nil, fmt.Errorf("modem: invalid band %+v for %d bins", b, m.cfg.NumBins())
+	out := make([]float64, m.cfg.SymbolLen())
+	if err := m.trainingSymbolInto(b, out); err != nil {
+		return nil, err
 	}
-	bins := make([]complex128, m.cfg.NumBins())
+	return out, nil
+}
+
+// trainingSymbolInto writes the training symbol for band b into a
+// caller-provided SymbolLen buffer, using the modem's scratch bins.
+func (m *Modem) trainingSymbolInto(b Band, out []float64) error {
+	if !b.Valid(m.cfg.NumBins()) {
+		return fmt.Errorf("modem: invalid band %+v for %d bins", b, m.cfg.NumBins())
+	}
+	bins := m.scratchBins()
+	for i := range bins {
+		bins[i] = 0
+	}
 	for i := b.Lo; i <= b.Hi; i++ {
 		bins[i] = m.trBins[i]
 	}
-	return m.ModulateSymbol(bins)
+	return m.modulateSymbolInto(bins, out)
 }
 
 // TrainingBins returns the known training constellation restricted to
