@@ -16,11 +16,21 @@
 //   - and the underwater channel simulator standing in for the
 //     paper's six field sites (internal/channel).
 //
-// Two usage styles are supported. The signal-level API (Modem) turns
-// packets into audio sample buffers and back — suitable for feeding a
-// real speaker/microphone pair or WAV files. The session API (Dial)
-// runs the full adaptive protocol, including the feedback round, over
-// any Medium (most commonly the simulated water of SimulatedWater).
+// Three usage styles are supported. The signal-level API (Modem)
+// turns packets into audio sample buffers and back — suitable for
+// feeding a real speaker/microphone pair or WAV files. The session
+// API (Dial) runs the full adaptive protocol, including the feedback
+// round, between two endpoints over any Medium (most commonly the
+// simulated water of SimulatedWater). The network API (NewNetwork,
+// Network.Join, Node.Send) scales that to N devices contending for
+// one shared body of water through the carrier-sense MAC, with
+// per-pair channels derived from node geometry; the two-endpoint
+// session is its 2-node special case.
+//
+// Failures across the surface wrap the typed taxonomy in errors.go
+// (ErrNoACK, ErrChannelBusy, ErrDecodeFailed, ...) for errors.Is, and
+// per-stage protocol visibility is available through the Trace
+// interface (SetTrace, WithNodeTrace, WithNetworkTrace).
 package aquago
 
 import (
@@ -204,7 +214,7 @@ func (mo *Modem) DecodeFromWAV(path string, self DeviceID) ([]Message, error) {
 	}
 	msgs, ok := mo.DecodeMessages(samples, self)
 	if !ok {
-		return nil, fmt.Errorf("aquago: no decodable packet in %s", path)
+		return nil, fmt.Errorf("%w in %s", ErrDecodeFailed, path)
 	}
 	return msgs, nil
 }

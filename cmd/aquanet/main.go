@@ -1,11 +1,13 @@
 // Command aquanet simulates an underwater network of AquaApp devices
 // contending for the acoustic channel, reproducing the paper's MAC
 // evaluation (Fig 19): collision fractions with and without carrier
-// sense for configurable transmitter counts.
+// sense for configurable transmitter counts. It runs entirely on the
+// public Network API.
 //
 // Usage:
 //
 //	aquanet [-tx 3] [-packets 120] [-runs 5] [-seed 1] [-env bridge]
+//	        [-csrange 0] [-preamble-aware]
 package main
 
 import (
@@ -13,9 +15,9 @@ import (
 	"fmt"
 	"os"
 
+	"aquago"
+
 	"aquago/internal/channel"
-	"aquago/internal/mac"
-	"aquago/internal/sim"
 )
 
 func main() {
@@ -24,6 +26,9 @@ func main() {
 	runs := flag.Int("runs", 5, "independent runs to average")
 	seed := flag.Int64("seed", 1, "base random seed")
 	envName := flag.String("env", "bridge", "environment (bridge/park/lake/beach/museum/bay)")
+	csRange := flag.Float64("csrange", 0, "carrier-sense audibility range in meters (0 = unlimited)")
+	preambleAware := flag.Bool("preamble-aware", false,
+		"carrier sense also detects preambles (hears through the silent feedback window, §2.4)")
 	flag.Parse()
 
 	env, ok := channel.ByName(*envName)
@@ -36,6 +41,28 @@ func main() {
 		os.Exit(1)
 	}
 
+	// One network per run: a receiver at the origin plus nTx
+	// transmitters 5-10 m out (Fig 19's deployment).
+	build := func() (*aquago.Network, []*aquago.Node) {
+		net, err := aquago.NewNetwork(env, aquago.WithCSRange(*csRange))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
+			fatal(err)
+		}
+		tx := make([]*aquago.Node, *nTx)
+		for i := range tx {
+			nd, err := net.Join(aquago.DeviceID(i+1),
+				aquago.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
+			if err != nil {
+				fatal(err)
+			}
+			tx[i] = nd
+		}
+		return net, tx
+	}
+
 	fmt.Printf("MAC simulation: %d transmitters + 1 receiver, %d packets each, %s\n",
 		*nTx, *packets, env.Name)
 	fmt.Printf("%-16s %12s %12s %10s\n", "mode", "collisions", "packets", "fraction")
@@ -44,16 +71,12 @@ func main() {
 		var fracSum float64
 		var collided, total int
 		for r := 0; r < *runs; r++ {
-			med := sim.New(env)
-			med.AddNode(sim.Position{X: 0, Z: 1}) // receiver
-			tx := make([]int, *nTx)
-			for i := range tx {
-				tx[i] = med.AddNode(sim.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
-			}
-			res := mac.RunNetwork(med, tx, mac.Config{
-				CarrierSense: cs,
-				PacketsPerTx: *packets,
-				Seed:         *seed + int64(r)*7919,
+			net, tx := build()
+			res := net.SimulateContention(tx, aquago.ContentionConfig{
+				CarrierSense:  cs,
+				PacketsPerTx:  *packets,
+				PreambleAware: *preambleAware,
+				Seed:          *seed + int64(r)*7919,
 			})
 			fracSum += res.CollisionFraction
 			for _, c := range res.PerNode {
@@ -67,4 +90,9 @@ func main() {
 		}
 		fmt.Printf("%-16s %12d %12d %9.1f%%\n", mode, collided, total, 100*fracSum/float64(*runs))
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aquanet:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,48 @@
+package aquago
+
+import (
+	"errors"
+
+	"aquago/internal/app"
+	"aquago/internal/phy"
+)
+
+// The public error taxonomy. Every error returned from the aquago
+// surface wraps one of these sentinels, so callers branch with
+// errors.Is instead of matching message strings:
+//
+//	res, err := node.Send(ctx, buddy, msg.ID)
+//	switch {
+//	case errors.Is(err, aquago.ErrNoACK):      // retries exhausted
+//	case errors.Is(err, aquago.ErrChannelBusy): // MAC never granted access
+//	}
+var (
+	// ErrNoACK: every transmission attempt went unacknowledged. The
+	// accompanying SendResult still describes the attempts — Delivered
+	// may be true when only the ACK was lost.
+	ErrNoACK = app.ErrNoACK
+	// ErrDecodeFailed: no decodable packet in the given audio.
+	ErrDecodeFailed = errors.New("aquago: no decodable packet")
+	// ErrChannelBusy: the carrier-sense MAC found the channel busy past
+	// the network's access deadline.
+	ErrChannelBusy = errors.New("aquago: acoustic channel busy")
+	// ErrBadMessage: a message ID outside the 240-entry codebook, or a
+	// Send with zero or more than two messages.
+	ErrBadMessage = app.ErrBadMessage
+	// ErrUnknownMessage: a received payload naming no codebook entry.
+	ErrUnknownMessage = app.ErrUnknownMessage
+	// ErrBadDeviceID: a device ID outside the addressable range
+	// (0..59, bounded by the modem's data subcarriers).
+	ErrBadDeviceID = phy.ErrBadDeviceID
+	// ErrUnknownDevice: a Send to a device that never joined the
+	// network.
+	ErrUnknownDevice = errors.New("aquago: unknown destination device")
+	// ErrDuplicateDevice: a Join with a device ID already in the
+	// network.
+	ErrDuplicateDevice = errors.New("aquago: device ID already joined")
+	// ErrNoBand: band adaptation found no subcarrier clearing the SNR
+	// threshold (reported via Result.BandOK; exported for tests).
+	ErrNoBand = phy.ErrNoBand
+	// ErrInvalidBand: band edges that do not fit the modem numerology.
+	ErrInvalidBand = phy.ErrInvalidBand
+)

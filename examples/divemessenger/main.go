@@ -1,13 +1,17 @@
 // Divemessenger: a dive-long conversation between two divers drifting
-// around a busy lake. Each message runs the full adaptive protocol;
-// the channel keeps evolving (the divers are moving), so the selected
-// band and bitrate change message to message — the core behavior of
-// the paper's Fig 9/12/14.
+// around a busy lake, on the public Network API. Each message runs the
+// full adaptive protocol over a channel derived from the divers'
+// geometry; the channel keeps evolving (the divers are moving), so the
+// selected band and bitrate change message to message — the core
+// behavior of the paper's Fig 9/12/14. Losses surface as typed errors
+// (errors.Is(err, aquago.ErrNoACK)) rather than sentinel strings.
 //
 //	go run ./examples/divemessenger
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -36,49 +40,52 @@ var script = []struct {
 }
 
 func main() {
-	// Both divers move slowly; the lake is busy (boats, fishing).
-	water, err := aquago.SimulatedWater(aquago.Lake,
-		aquago.AtDistance(8),
-		aquago.WithMotion(aquago.SlowMotion),
-		aquago.WithSeed(7),
-	)
+	// A busy lake (boats, fishing); both divers move slowly, 8 m
+	// apart at 2 m depth. The network derives each direction's channel
+	// from this geometry.
+	net, err := aquago.NewNetwork(aquago.Lake, aquago.WithNetworkSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Each diver talks over their own view of the same water: diver
-	// 2's forward direction is diver 1's backward.
-	sessions := map[aquago.DeviceID]*session{}
-	media := map[aquago.DeviceID]aquago.Medium{
-		1: water,
-		2: aquago.SwapDirection(water),
-	}
-	for _, id := range []aquago.DeviceID{1, 2} {
-		s, err := aquago.Dial(id)
+	// Join in a fixed order: node indices seed the per-pair channels,
+	// so ordering is part of the reproducible realization.
+	divers := map[aquago.DeviceID]*aquago.Node{}
+	for _, spec := range []struct {
+		id  aquago.DeviceID
+		pos aquago.Position
+	}{
+		{1, aquago.Position{X: 0, Z: 2}},
+		{2, aquago.Position{X: 8, Z: 2}},
+	} {
+		d, err := net.Join(spec.id, spec.pos, aquago.WithNodeMotion(aquago.SlowMotion))
 		if err != nil {
 			log.Fatal(err)
 		}
-		sessions[id] = &session{s: s}
+		divers[spec.id] = d
 	}
 
+	ctx := context.Background()
 	delivered, total := 0, 0
 	for _, line := range script {
 		first, ok := aquago.LookupMessage(line.first)
 		if !ok {
 			log.Fatalf("unknown message %q", line.first)
 		}
-		second := uint8(aquago.NoMessage)
+		msgs := []uint8{first.ID}
 		label := fmt.Sprintf("%q", line.first)
 		if line.second != "" {
 			m2, ok := aquago.LookupMessage(line.second)
 			if !ok {
 				log.Fatalf("unknown message %q", line.second)
 			}
-			second = m2.ID
+			msgs = append(msgs, m2.ID)
 			label = fmt.Sprintf("%q + %q", line.first, line.second)
 		}
-		res, err := sessions[line.from].s.Send(media[line.from], line.to, first.ID, second)
-		if err != nil {
+		res, err := divers[line.from].Send(ctx, line.to, msgs...)
+		switch {
+		case errors.Is(err, aquago.ErrNoACK):
+			// The protocol gave up; res still reports the attempts.
+		case err != nil:
 			log.Fatal(err)
 		}
 		total++
@@ -97,5 +104,3 @@ func main() {
 	}
 	fmt.Printf("\ndelivered %d/%d messages\n", delivered, total)
 }
-
-type session struct{ s *aquago.Session }

@@ -1,40 +1,55 @@
 // MAC network: three divers keep messaging one receiver. Without
 // carrier sense their packets collide about half the time; with the
 // paper's energy-detection MAC (80 ms sensing, packet-quantum random
-// backoff) collisions nearly vanish (Fig 19). The example also mixes
-// two concurrent transmissions into actual receiver audio to show
-// what a collision sounds like to the demodulator.
+// backoff) collisions nearly vanish (Fig 19). Everything runs on the
+// public Network API: a batch contention simulation first, then live
+// concurrent sends whose protocol stages a Trace observes, and
+// finally a peek under the hood at what a collision physically is.
 //
 //	go run ./examples/macnetwork
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
+	"sync/atomic"
+
+	"aquago"
 
 	"aquago/internal/channel"
 	"aquago/internal/dsp"
-	"aquago/internal/mac"
 	"aquago/internal/sim"
 )
 
 func main() {
 	// Fig 19's deployment: three transmitters 5-10 m from a receiver
 	// under the bridge.
-	build := func() (*sim.Medium, []int) {
-		med := sim.New(channel.Bridge)
-		med.AddNode(sim.Position{X: 0, Z: 1}) // receiver
-		var tx []int
-		for i := 0; i < 3; i++ {
-			tx = append(tx, med.AddNode(sim.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1}))
+	build := func(opts ...aquago.NetworkOption) (*aquago.Network, []*aquago.Node) {
+		net, err := aquago.NewNetwork(aquago.Bridge, opts...)
+		if err != nil {
+			log.Fatal(err)
 		}
-		return med, tx
+		if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
+			log.Fatal(err)
+		}
+		var tx []*aquago.Node
+		for i := 0; i < 3; i++ {
+			nd, err := net.Join(aquago.DeviceID(i+1),
+				aquago.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			tx = append(tx, nd)
+		}
+		return net, tx
 	}
 
-	fmt.Println("three transmitters, 120 packets each:")
+	fmt.Println("three transmitters, 120 packets each (batch contention):")
 	for _, cs := range []bool{false, true} {
-		med, tx := build()
-		res := mac.RunNetwork(med, tx, mac.Config{
+		net, tx := build()
+		res := net.SimulateContention(tx, aquago.ContentionConfig{
 			CarrierSense: cs,
 			PacketsPerTx: 120,
 			Seed:         11,
@@ -45,14 +60,40 @@ func main() {
 		}
 		fmt.Printf("  %s: %5.1f%% of packets collided (%d sent in %.0f s)\n",
 			mode, 100*res.CollisionFraction, res.Sent, res.DurationS)
-		for _, id := range tx {
-			c := res.PerNode[id]
-			fmt.Printf("    node %d: %3d/%d collided\n", id, c[0], c[1])
+		for _, nd := range tx {
+			c := res.PerNode[nd.Index()]
+			fmt.Printf("    node %d: %3d/%d collided\n", nd.Index(), c[0], c[1])
 		}
 	}
 
+	// Live traffic: all three divers send concurrently; the MAC
+	// serializes them on the shared virtual timeline while a trace
+	// counts protocol stages.
+	var stages atomic.Int64
+	net, tx := build(
+		aquago.WithNetworkSeed(11),
+		aquago.WithNetworkTrace(aquago.TraceFunc(func(aquago.StageEvent) { stages.Add(1) })))
+	okMsg, _ := aquago.LookupMessage("OK?")
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for _, nd := range tx {
+		wg.Add(1)
+		go func(nd *aquago.Node) {
+			defer wg.Done()
+			res, err := nd.Send(context.Background(), 0, okMsg.ID)
+			if err == nil && res.Delivered {
+				delivered.Add(1)
+			}
+		}(nd)
+	}
+	wg.Wait()
+	_, frac := net.CollisionStats()
+	fmt.Printf("\nlive concurrent sends: %d/3 delivered, %.0f%% collided, %d stage events traced\n",
+		delivered.Load(), 100*frac, stages.Load())
+
 	// What a collision physically is: two packets overlapping in the
-	// receiver's ear. Mix two tones through the waveform medium.
+	// receiver's ear. This part peeks below the public API at the
+	// waveform-mixing medium to show the superposition itself.
 	fmt.Println("\nanatomy of a collision (waveform mix at the receiver):")
 	w := sim.NewWaveMedium(channel.Bridge, 48000, 5)
 	rxNode := w.AddNode(sim.Position{X: 0, Z: 1})

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -30,7 +31,11 @@ func main() {
 
 	okSignal, _ := aquago.LookupMessage("OK?")
 	res, err := session.Send(water, 9, okSignal.ID, aquago.NoMessage)
-	if err != nil {
+	switch {
+	case errors.Is(err, aquago.ErrNoACK):
+		// Retries exhausted without an ACK; res still reports what the
+		// attempts achieved.
+	case err != nil:
 		log.Fatal(err)
 	}
 

@@ -1,6 +1,7 @@
 package app
 
 import (
+	"errors"
 	"testing"
 
 	"aquago/internal/channel"
@@ -170,8 +171,8 @@ func TestMessengerRetriesOnDeadMedium(t *testing.T) {
 	ms := NewMessenger(proto, 4)
 	ms.Retries = 2
 	res, err := ms.Send(deadMedium{}, 9, 0, NoMessage, 0)
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, ErrNoACK) {
+		t.Fatalf("want ErrNoACK from dead medium, got %v", err)
 	}
 	if res.Delivered || res.Acknowledged {
 		t.Fatal("dead medium cannot deliver")

@@ -1,6 +1,7 @@
 package app
 
 import (
+	"errors"
 	"fmt"
 
 	"aquago/internal/phy"
@@ -10,14 +11,29 @@ import (
 // instead of two (any value >= NumMessages works; 0xFF is canonical).
 const NoMessage = 0xFF
 
+// Sentinel errors for the messaging layer; match with errors.Is.
+var (
+	// ErrBadMessage reports an unsendable message: an ID outside the
+	// codebook, or a malformed message set.
+	ErrBadMessage = errors.New("app: bad message")
+	// ErrUnknownMessage reports a received payload naming no codebook
+	// entry.
+	ErrUnknownMessage = errors.New("app: unknown message ID")
+	// ErrNoACK reports that every transmission attempt went
+	// unacknowledged. The accompanying SendResult still describes what
+	// happened — Delivered may be true when only the ACK was lost (the
+	// two-generals cost).
+	ErrNoACK = errors.New("app: no acknowledgment heard")
+)
+
 // PackPair packs one or two message IDs into a 16-bit packet payload
 // ("users can choose to send two hand signals in a single packet").
 func PackPair(first uint8, second uint8) ([2]byte, error) {
 	if int(first) >= NumMessages {
-		return [2]byte{}, fmt.Errorf("app: message ID %d out of range", first)
+		return [2]byte{}, fmt.Errorf("%w: ID %d out of range", ErrBadMessage, first)
 	}
 	if int(second) >= NumMessages && second != NoMessage {
-		return [2]byte{}, fmt.Errorf("app: message ID %d out of range", second)
+		return [2]byte{}, fmt.Errorf("%w: ID %d out of range", ErrBadMessage, second)
 	}
 	return [2]byte{first, second}, nil
 }
@@ -36,6 +52,17 @@ type Messenger struct {
 	Retries int
 	// Src is this device's ID.
 	Src phy.DeviceID
+	// Gate, when non-nil, grants medium access before each attempt: it
+	// receives the earliest virtual time the attempt could start and
+	// returns the granted transmit time (e.g. after carrier-sense
+	// backoff) or an error (channel busy past a deadline, context
+	// cancelled). A nil Gate transmits immediately.
+	Gate func(readyS float64) (float64, error)
+	// OnAttempt, when non-nil, observes each attempt right after its
+	// exchange: the (granted) start time and the protocol result. The
+	// public Network uses it to put the attempt on the air in envelope
+	// mode with its actual duration.
+	OnAttempt func(startS float64, res phy.Result)
 }
 
 // NewMessenger wraps a protocol instance.
@@ -59,7 +86,9 @@ type SendResult struct {
 
 // Send transmits one or two messages to dst over the medium, retrying
 // while no ACK is heard. atS advances with the retry traffic so the
-// channel keeps evolving.
+// channel keeps evolving. When every attempt goes unacknowledged the
+// returned error wraps ErrNoACK; the SendResult still reports what the
+// attempts achieved (Delivered can be true with a lost ACK).
 func (ms *Messenger) Send(med phy.Medium, dst phy.DeviceID, first, second uint8, atS float64) (SendResult, error) {
 	payload, err := PackPair(first, second)
 	if err != nil {
@@ -69,10 +98,21 @@ func (ms *Messenger) Send(med phy.Medium, dst phy.DeviceID, first, second uint8,
 	var out SendResult
 	now := atS
 	for attempt := 0; attempt <= ms.Retries; attempt++ {
+		start := now
+		if ms.Gate != nil {
+			granted, err := ms.Gate(now)
+			if err != nil {
+				return out, err
+			}
+			start = granted
+		}
 		out.Attempts = attempt + 1
-		res, err := ms.proto.Exchange(med, pkt, now)
+		res, err := ms.proto.Exchange(med, pkt, start)
 		if err != nil {
 			return out, err
+		}
+		if ms.OnAttempt != nil {
+			ms.OnAttempt(start, res)
 		}
 		out.Last = res
 		out.Delivered = out.Delivered || res.Delivered
@@ -81,9 +121,9 @@ func (ms *Messenger) Send(med phy.Medium, dst phy.DeviceID, first, second uint8,
 			return out, nil
 		}
 		// Back off one packet airtime before retrying.
-		now += ms.proto.PacketAirtimeS(res.Band) + 0.25
+		now = start + ms.proto.PacketAirtimeS(res.Band) + 0.25
 	}
-	return out, nil
+	return out, fmt.Errorf("%w after %d attempts", ErrNoACK, out.Attempts)
 }
 
 // DecodePayload maps a received packet payload back to messages.
@@ -91,13 +131,13 @@ func DecodePayload(payload [2]byte) ([]Message, error) {
 	first, second, ok2 := UnpackPair(payload)
 	m1, ok := ByID(first)
 	if !ok {
-		return nil, fmt.Errorf("app: unknown message ID %d", first)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, first)
 	}
 	msgs := []Message{m1}
 	if ok2 {
 		m2, ok := ByID(second)
 		if !ok {
-			return nil, fmt.Errorf("app: unknown message ID %d", second)
+			return nil, fmt.Errorf("%w: %d", ErrUnknownMessage, second)
 		}
 		msgs = append(msgs, m2)
 	}

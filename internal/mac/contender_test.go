@@ -1,0 +1,97 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"aquago/internal/sim"
+
+	"aquago/internal/channel"
+)
+
+func TestContenderIdleChannelGrantsImmediately(t *testing.T) {
+	c := NewContender(Config{CarrierSense: true, Seed: 1})
+	start, ok := c.Acquire(func(float64) bool { return false }, 2.5, 0.6, 0)
+	if !ok || start != 2.5 {
+		t.Fatalf("idle channel: got (%g, %v), want (2.5, true)", start, ok)
+	}
+}
+
+func TestContenderNoCarrierSenseIgnoresBusy(t *testing.T) {
+	c := NewContender(Config{CarrierSense: false, Seed: 1})
+	start, ok := c.Acquire(func(float64) bool { return true }, 1.0, 0.6, 0)
+	if !ok || start != 1.0 {
+		t.Fatalf("MAC off: got (%g, %v), want (1.0, true)", start, ok)
+	}
+}
+
+func TestContenderBacksOffPastBusyInterval(t *testing.T) {
+	// Channel busy during [0, 1.0): the grant must land at or after
+	// the busy interval ends, aligned to the sense cadence, and the
+	// backoff draw makes it strictly later than the first idle poll.
+	busyUntil := 1.0
+	c := NewContender(Config{CarrierSense: true, PacketDurS: 0.6, Seed: 7})
+	start, ok := c.Acquire(func(tS float64) bool { return tS < busyUntil }, 0, 0.6, 0)
+	if !ok {
+		t.Fatal("no grant on a channel that goes idle")
+	}
+	if start < busyUntil {
+		t.Fatalf("granted %g while channel busy until %g", start, busyUntil)
+	}
+	// The grant happens on the sense lattice.
+	steps := start / SenseIntervalS
+	if math.Abs(steps-math.Round(steps)) > 1e-9 {
+		t.Fatalf("grant %g off the %gs sense cadence", start, SenseIntervalS)
+	}
+}
+
+func TestContenderDeadlineGivesUp(t *testing.T) {
+	c := NewContender(Config{CarrierSense: true, PacketDurS: 0.6, Seed: 7})
+	_, ok := c.Acquire(func(float64) bool { return true }, 0, 0.6, 0.5)
+	if ok {
+		t.Fatal("granted access on a permanently busy channel")
+	}
+}
+
+func TestContenderDeterministicDraws(t *testing.T) {
+	busy := func(tS float64) bool { return tS < 2.0 }
+	run := func() []float64 {
+		c := NewContender(Config{CarrierSense: true, PacketDurS: 0.6, Seed: 3})
+		var grants []float64
+		ready := 0.0
+		for i := 0; i < 4; i++ {
+			s, ok := c.Acquire(busy, ready, 0.6, 0)
+			if !ok {
+				t.Fatal("unexpected deadline")
+			}
+			grants = append(grants, s)
+			ready = s + 0.6
+		}
+		return grants
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grant %d diverged: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestContenderAgreesWithRunNetworkRules cross-checks the incremental
+// contender against the batch engine on the scenario both understand:
+// one transmitter on an otherwise silent medium transmits exactly at
+// its ready times.
+func TestContenderAgreesWithRunNetworkRules(t *testing.T) {
+	med := sim.New(channel.Bridge)
+	med.AddNode(sim.Position{X: 0, Z: 1})
+	tx := med.AddNode(sim.Position{X: 5, Z: 1})
+	res := RunNetwork(med, []int{tx}, Config{CarrierSense: true, PacketsPerTx: 5, Seed: 2})
+	if res.CollisionFraction != 0 || res.Sent != 5 {
+		t.Fatalf("batch baseline: %+v", res)
+	}
+	c := NewContender(Config{CarrierSense: true, Seed: 2})
+	start, ok := c.Acquire(func(tS float64) bool { return med.BusyAt(tx, tS) }, 1e6, 0.6, 0)
+	if !ok || start != 1e6 {
+		t.Fatalf("quiet medium after batch run: got (%g, %v)", start, ok)
+	}
+}

@@ -70,6 +70,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// transmissionFor builds the envelope transmission one attempt puts
+// on the air under cfg's sensing model: the configured silent
+// feedback window, zeroed when PreambleAware models carrier sense
+// that hears through it. cfg must already have defaults applied.
+func transmissionFor(cfg Config, from int, startS, durS float64, seq int) sim.Transmission {
+	quietOff, quietDur := cfg.QuietOffS, cfg.QuietDurS
+	if cfg.PreambleAware {
+		// A preamble-detecting carrier sense knows the exchange spans
+		// the quiet window too; model it as a solid busy interval.
+		quietOff, quietDur = 0, 0
+	}
+	return sim.Transmission{
+		From: from, StartS: startS, DurS: durS,
+		QuietOffS: quietOff, QuietDurS: quietDur,
+		Seq: seq,
+	}
+}
+
 // Result summarizes one network run.
 type Result struct {
 	// PerNode maps node index to (collided, sent).
@@ -168,17 +186,7 @@ func (st *nodeState) step(med *sim.Medium, cfg Config, now float64, rng *rand.Ra
 }
 
 func (st *nodeState) transmit(med *sim.Medium, cfg Config, now float64, rng *rand.Rand) {
-	quietOff, quietDur := cfg.QuietOffS, cfg.QuietDurS
-	if cfg.PreambleAware {
-		// A preamble-detecting carrier sense knows the exchange spans
-		// the quiet window too; model it as a solid busy interval.
-		quietOff, quietDur = 0, 0
-	}
-	med.Transmit(sim.Transmission{
-		From: st.id, StartS: now, DurS: cfg.PacketDurS,
-		QuietOffS: quietOff, QuietDurS: quietDur,
-		Seq: st.seq,
-	})
+	med.Transmit(transmissionFor(cfg, st.id, now, cfg.PacketDurS, st.seq))
 	st.seq++
 	st.sent++
 	st.txUntilS = now + cfg.PacketDurS

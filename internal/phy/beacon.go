@@ -34,7 +34,7 @@ func NewBeacon(bitRate int) (*Beacon, error) {
 	switch bitRate {
 	case 5, 10, 20:
 	default:
-		return nil, fmt.Errorf("phy: beacon rate %d not in {5, 10, 20} bps", bitRate)
+		return nil, fmt.Errorf("%w: %d bps not in {5, 10, 20}", ErrBadBeaconRate, bitRate)
 	}
 	return &Beacon{SampleRate: 48000, BitRateBPS: bitRate, F0: 2000, F1: 3000}, nil
 }
@@ -48,7 +48,7 @@ func (b *Beacon) SymbolSamples() int { return b.SampleRate / b.BitRateBPS }
 func (b *Beacon) Encode(bits []int) ([]float64, error) {
 	for _, v := range bits {
 		if v != 0 && v != 1 {
-			return nil, fmt.Errorf("phy: beacon bit %d out of {0,1}", v)
+			return nil, fmt.Errorf("%w: beacon bit %d out of {0,1}", ErrBadPayload, v)
 		}
 	}
 	all := append(append([]int{}, beaconSync...), bits...)
@@ -67,7 +67,7 @@ func (b *Beacon) Encode(bits []int) ([]float64, error) {
 // EncodeID builds an SoS beacon carrying a 6-bit user ID.
 func (b *Beacon) EncodeID(id DeviceID) ([]float64, error) {
 	if id < 0 || int(id) >= 1<<SOSIDBits {
-		return nil, fmt.Errorf("phy: SoS ID %d out of 6-bit range", id)
+		return nil, fmt.Errorf("%w: SoS ID %d out of 6-bit range", ErrBadDeviceID, id)
 	}
 	bits := make([]int, SOSIDBits)
 	for i := 0; i < SOSIDBits; i++ {
@@ -127,7 +127,7 @@ func (b *Beacon) DecodeAligned(rx []float64, offset, nBits int) ([]int, error) {
 	n := b.SymbolSamples()
 	start := offset + len(beaconSync)*n
 	if start+nBits*n > len(rx) {
-		return nil, fmt.Errorf("phy: beacon rx too short")
+		return nil, fmt.Errorf("%w: beacon rx shorter than %d bits", ErrShortInput, nBits)
 	}
 	bits := make([]int, nBits)
 	for i := range bits {

@@ -1,0 +1,23 @@
+package phy
+
+import "errors"
+
+// Sentinel errors for the protocol layer. Every error returned from
+// this package wraps one of these (or ErrNoBand in protocol.go), so
+// callers classify failures with errors.Is instead of matching
+// message strings.
+var (
+	// ErrBadDeviceID reports a device or SoS ID outside the
+	// addressable range.
+	ErrBadDeviceID = errors.New("phy: device ID out of range")
+	// ErrInvalidBand reports a band whose edges do not fit the modem
+	// numerology.
+	ErrInvalidBand = errors.New("phy: invalid band")
+	// ErrBadPayload reports payload bits of the wrong size or alphabet.
+	ErrBadPayload = errors.New("phy: bad payload")
+	// ErrShortInput reports a receive buffer too short for the
+	// requested decode.
+	ErrShortInput = errors.New("phy: input too short")
+	// ErrBadBeaconRate reports an unsupported SoS beacon bit rate.
+	ErrBadBeaconRate = errors.New("phy: unsupported beacon rate")
+)

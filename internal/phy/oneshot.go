@@ -27,7 +27,7 @@ type OneShot struct {
 // NewOneShot builds a one-shot framer on the given band.
 func NewOneShot(m *modem.Modem, band modem.Band) (*OneShot, error) {
 	if !band.Valid(m.Config().NumBins()) {
-		return nil, fmt.Errorf("phy: invalid band %+v", band)
+		return nil, fmt.Errorf("%w: %+v", ErrInvalidBand, band)
 	}
 	return &OneShot{
 		m:     m,

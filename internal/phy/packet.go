@@ -28,7 +28,7 @@ func (p Packet) PayloadBitSlice() []int {
 // PacketFromBits reassembles a payload from decoded bits.
 func PacketFromBits(bits []int, dst, src DeviceID) (Packet, error) {
 	if len(bits) != PayloadBits {
-		return Packet{}, fmt.Errorf("phy: payload must be %d bits, got %d", PayloadBits, len(bits))
+		return Packet{}, fmt.Errorf("%w: payload must be %d bits, got %d", ErrBadPayload, PayloadBits, len(bits))
 	}
 	b := fec.BytesFromBits(bits)
 	var pkt Packet

@@ -72,6 +72,10 @@ type Options struct {
 	// the data section (covers Bob's feedback and processing; the
 	// paper estimates ~5 symbol intervals).
 	ProcessingGapSymbols int
+	// OnStage, when non-nil, receives a StageEvent after each protocol
+	// stage concludes (preamble, SNR, band, feedback, data, ACK). See
+	// trace.go; SetStageHook changes it after construction.
+	OnStage func(StageEvent)
 }
 
 // Protocol runs the AquaApp packet exchange. Construct with New.
@@ -174,6 +178,7 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 	res.PreambleDetected = ok
 	res.DetectMetric = det.Metric
 	if !ok {
+		p.emit(StageEvent{Stage: StagePreamble, AtS: now, Metric: det.Metric})
 		return res, nil
 	}
 	// Header check: scan offsets across the symbol's cyclic prefix so
@@ -194,6 +199,7 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 			res.HeaderOK = true
 		}
 	}
+	p.emit(StageEvent{Stage: StagePreamble, AtS: now, OK: res.HeaderOK, Metric: det.Metric})
 	if !res.HeaderOK {
 		return res, nil
 	}
@@ -208,6 +214,7 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 		return res, err
 	}
 	res.SNRdB = est.SNRdB
+	p.emit(StageEvent{Stage: StageSNR, AtS: now, OK: true, Metric: dsp.Mean(est.SNRdB), SNRdB: est.SNRdB})
 	var band modem.Band
 	if p.opts.FixedBand != nil {
 		band = *p.opts.FixedBand
@@ -215,9 +222,10 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 	} else {
 		band, ok = p.sel.Select(est.SNRdB)
 		res.BandOK = ok
-		if !ok {
-			return res, nil
-		}
+	}
+	p.emit(StageEvent{Stage: StageBand, AtS: now, OK: res.BandOK, Band: band})
+	if !res.BandOK {
+		return res, nil
 	}
 	res.Band = band
 	res.BitrateBPS = adapt.BitrateBPS(band, cfg, 2.0/3.0)
@@ -233,6 +241,7 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 		now += float64(len(fbSym)) / fs
 		got, ok := p.fb.Decode(rxAlice, cfg.N(), 8)
 		res.FeedbackDecoded = ok
+		p.emit(StageEvent{Stage: StageFeedback, AtS: now, OK: ok, Band: got})
 		if !ok {
 			return res, nil
 		}
@@ -241,6 +250,7 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 	} else {
 		res.FeedbackDecoded = true
 		res.FeedbackBand = band
+		p.emit(StageEvent{Stage: StageFeedback, AtS: now, OK: true, Band: band})
 	}
 
 	// ---- Stage 4: Alice transmits the data section. ----
@@ -269,7 +279,9 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 	start := p.findDataStart(rxData, band)
 	soft, err := p.m.DemodulateData(rxData[start:], band, len(grid), p.opts.DataOpts)
 	if err != nil {
-		return res, nil // too short after sync error: packet lost
+		// Too short after a sync error: packet lost.
+		p.emit(StageEvent{Stage: StageData, AtS: now, Band: band})
+		return res, nil
 	}
 	// Pre-Viterbi accounting against ground truth.
 	if band == usedBand {
@@ -308,6 +320,7 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 		}
 	}
 	res.Delivered = res.InfoErrors == 0
+	p.emit(StageEvent{Stage: StageData, AtS: now, OK: res.Delivered, Band: band, BitErrors: res.InfoErrors})
 
 	// ---- Stage 6: Bob ACKs. ----
 	if !p.opts.SkipACK && res.Delivered {
@@ -317,6 +330,7 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 		}
 		rxAck := med.Backward(ackSym, now)
 		res.ACKReceived = p.tones.DetectACK(rxAck, 0.3)
+		p.emit(StageEvent{Stage: StageACK, AtS: now, OK: res.ACKReceived})
 	}
 	return res, nil
 }

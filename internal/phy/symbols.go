@@ -43,7 +43,7 @@ const ackBin = 0
 // dst-th data subcarrier.
 func (t *Tones) IDSymbol(dst DeviceID) ([]float64, error) {
 	if !dst.Valid(t.m.Config()) {
-		return nil, fmt.Errorf("phy: device ID %d out of range", dst)
+		return nil, fmt.Errorf("%w: header tone for device %d", ErrBadDeviceID, dst)
 	}
 	return t.tone(int(dst))
 }
@@ -84,7 +84,7 @@ func (t *Tones) DecodeTone(rx []float64, offset int) (ToneDecision, error) {
 	cfg := t.m.Config()
 	start := offset + cfg.CPLen
 	if start < 0 || start+cfg.N() > len(rx) {
-		return ToneDecision{}, fmt.Errorf("phy: tone symbol out of bounds (offset %d, len %d)", offset, len(rx))
+		return ToneDecision{}, fmt.Errorf("%w: tone symbol out of bounds (offset %d, len %d)", ErrShortInput, offset, len(rx))
 	}
 	bins, err := t.m.DemodSymbol(rx[start : start+cfg.N()])
 	if err != nil {
@@ -142,7 +142,7 @@ func (t *Tones) DecodeToneIntegrated(rx []float64, offsets []int) (ToneDecision,
 		windows++
 	}
 	if windows == 0 {
-		return ToneDecision{}, fmt.Errorf("phy: no valid tone windows")
+		return ToneDecision{}, fmt.Errorf("%w: no valid tone windows", ErrShortInput)
 	}
 	var total, best float64
 	bestBin := 0

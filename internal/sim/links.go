@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+
+	"aquago/internal/channel"
+)
+
+// Endpoint carries the per-node acoustic properties that shape the
+// links a node participates in. The zero value uses the channel
+// package defaults (Galaxy S9, static).
+type Endpoint struct {
+	Device channel.Device
+	Motion channel.Motion
+}
+
+// Links lazily builds and caches a directed channel.Link for every
+// (tx, rx) node pair of a Medium, deriving link geometry (distance,
+// depths) from node positions. It is the waveform-level counterpart
+// of the envelope medium: protocol exchanges between two nodes run
+// over the pair's links while the envelope side does carrier sense
+// and collision accounting. Each directed link owns its own noise and
+// multipath realization seeded per pair, so exchanges on one pair are
+// deterministic regardless of what other pairs carry.
+//
+// Links is not safe for concurrent use; callers (the public Network)
+// serialize access.
+type Links struct {
+	med        *Medium
+	sampleRate int
+	seed       int64
+	noiseOff   bool
+	endpoints  map[int]Endpoint
+	cache      map[[2]int]*channel.Link
+}
+
+// NewLinks wraps a medium. noiseOff disables per-link ambient noise
+// for callers that inject noise once per receiver window (WaveMedium).
+func NewLinks(med *Medium, sampleRate int, seed int64, noiseOff bool) *Links {
+	return &Links{
+		med:        med,
+		sampleRate: sampleRate,
+		seed:       seed,
+		noiseOff:   noiseOff,
+		endpoints:  make(map[int]Endpoint),
+		cache:      make(map[[2]int]*channel.Link),
+	}
+}
+
+// SetEndpoint records a node's acoustic properties. It must run
+// before the node's first link is built; later calls have no effect
+// on cached links.
+func (ls *Links) SetEndpoint(node int, ep Endpoint) { ls.endpoints[node] = ep }
+
+// Link returns (building on first use) the directed channel from node
+// tx to node rx.
+func (ls *Links) Link(tx, rx int) (*channel.Link, error) {
+	key := [2]int{tx, rx}
+	if l, ok := ls.cache[key]; ok {
+		return l, nil
+	}
+	l, err := ls.buildLink(tx, rx)
+	if err != nil {
+		return nil, err
+	}
+	ls.cache[key] = l
+	return l, nil
+}
+
+// buildLink constructs the directed channel from node geometry and
+// the endpoints' properties, bypassing the cache.
+func (ls *Links) buildLink(tx, rx int) (*channel.Link, error) {
+	n := ls.med.NumNodes()
+	if tx < 0 || tx >= n || rx < 0 || rx >= n || tx == rx {
+		return nil, fmt.Errorf("sim: no link between nodes %d and %d", tx, rx)
+	}
+	pt, pr := ls.med.positions[tx], ls.med.positions[rx]
+	dist := pt.DistanceTo(pr)
+	if dist < 0.5 {
+		dist = 0.5
+	}
+	et, er := ls.endpoints[tx], ls.endpoints[rx]
+	return channel.NewLink(channel.LinkParams{
+		Env:        ls.med.env,
+		DistanceM:  dist,
+		TxDepthM:   clampDepth(pt.Z, ls.med.env.DepthM),
+		RxDepthM:   clampDepth(pr.Z, ls.med.env.DepthM),
+		TxDevice:   et.Device,
+		RxDevice:   er.Device,
+		Motion:     strongerMotion(et.Motion, er.Motion),
+		SampleRate: ls.sampleRate,
+		Seed:       ls.seed + int64(tx)*1009 + int64(rx)*9176,
+		NoiseOff:   ls.noiseOff,
+	})
+}
+
+// strongerMotion combines two endpoints' motion into the link's: the
+// channel varies as fast as the faster-moving end.
+func strongerMotion(a, b channel.Motion) channel.Motion {
+	if b.AccelMS2 > a.AccelMS2 || b.SpeedMS > a.SpeedMS {
+		return b
+	}
+	return a
+}
+
+func clampDepth(z, depth float64) float64 {
+	if z <= 0 {
+		return 1
+	}
+	if z >= depth {
+		return depth - 0.5
+	}
+	return z
+}
+
+// PairMedium adapts one node pair into the protocol's two-direction
+// medium contract (it satisfies phy.Medium): Forward carries a -> b,
+// Backward carries b -> a. Both directed links are built eagerly so
+// the sample-path methods cannot fail.
+type PairMedium struct {
+	fwd, bwd *channel.Link
+}
+
+// Pair returns the (a, b) pair medium, building both directed links
+// through the cache (the result shares link state with every other
+// Pair of the same nodes — serialize access with them).
+func (ls *Links) Pair(a, b int) (*PairMedium, error) {
+	fwd, err := ls.Link(a, b)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := ls.Link(b, a)
+	if err != nil {
+		return nil, err
+	}
+	return &PairMedium{fwd: fwd, bwd: bwd}, nil
+}
+
+// DetachedPair builds a pair medium with the same parameters and
+// seeds as Pair — so it realizes the identical channel — but with
+// freshly constructed links that share no mutable state with the
+// cache. Callers may drive it independently of (and concurrently
+// with) the owning network's own exchanges.
+func (ls *Links) DetachedPair(a, b int) (*PairMedium, error) {
+	fwd, err := ls.buildLink(a, b)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := ls.buildLink(b, a)
+	if err != nil {
+		return nil, err
+	}
+	return &PairMedium{fwd: fwd, bwd: bwd}, nil
+}
+
+// Forward carries a -> b at virtual time atS.
+func (pm *PairMedium) Forward(tx []float64, atS float64) []float64 {
+	return pm.fwd.TransmitAt(tx, atS)
+}
+
+// Backward carries b -> a at virtual time atS.
+func (pm *PairMedium) Backward(tx []float64, atS float64) []float64 {
+	return pm.bwd.TransmitAt(tx, atS)
+}

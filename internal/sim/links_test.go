@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+
+	"aquago/internal/channel"
+	"aquago/internal/dsp"
+	"aquago/internal/phy"
+)
+
+// The pair medium must satisfy the protocol's medium contract.
+var _ phy.Medium = (*PairMedium)(nil)
+
+func TestLinksBuildsAndCachesPairLinks(t *testing.T) {
+	med := New(channel.Bridge)
+	a := med.AddNode(Position{X: 0, Z: 1})
+	b := med.AddNode(Position{X: 6, Z: 1})
+	ls := NewLinks(med, 48000, 5, false)
+
+	l1, err := ls.Link(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ls.Link(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Fatal("link not cached")
+	}
+	if got := l1.Params().DistanceM; got != 6 {
+		t.Fatalf("link distance %g, want 6 from geometry", got)
+	}
+	// Directions are independent realizations (underwater links are
+	// non-reciprocal, Fig 3d).
+	rev, err := ls.Link(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev == l1 {
+		t.Fatal("reverse direction shares the forward link")
+	}
+}
+
+func TestLinksRejectsBadPairs(t *testing.T) {
+	med := New(channel.Bridge)
+	a := med.AddNode(Position{X: 0, Z: 1})
+	ls := NewLinks(med, 48000, 5, false)
+	if _, err := ls.Link(a, a); err == nil {
+		t.Fatal("self link accepted")
+	}
+	if _, err := ls.Link(a, 7); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, err := ls.Pair(a, 7); err == nil {
+		t.Fatal("unknown pair accepted")
+	}
+}
+
+func TestLinksClampsGeometry(t *testing.T) {
+	med := New(channel.Bridge)                // 3 m water column
+	a := med.AddNode(Position{X: 0, Z: 0})    // at the surface
+	b := med.AddNode(Position{X: 0.1, Z: 99}) // below the bottom, 10 cm away
+	ls := NewLinks(med, 48000, 5, false)
+	l, err := ls.Link(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := l.Params()
+	if p.DistanceM < 0.5 {
+		t.Fatalf("distance %g not clamped to 0.5", p.DistanceM)
+	}
+	if p.TxDepthM <= 0 || p.TxDepthM >= channel.Bridge.DepthM {
+		t.Fatalf("tx depth %g outside water column", p.TxDepthM)
+	}
+	if p.RxDepthM <= 0 || p.RxDepthM >= channel.Bridge.DepthM {
+		t.Fatalf("rx depth %g outside water column", p.RxDepthM)
+	}
+}
+
+func TestLinksEndpointsShapeTheLink(t *testing.T) {
+	med := New(channel.Bridge)
+	a := med.AddNode(Position{X: 0, Z: 1})
+	b := med.AddNode(Position{X: 6, Z: 1})
+	ls := NewLinks(med, 48000, 5, false)
+	ls.SetEndpoint(a, Endpoint{Device: channel.Pixel4, Motion: channel.FastMotion})
+	ls.SetEndpoint(b, Endpoint{Device: channel.GalaxyWatch4})
+	l, err := ls.Link(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := l.Params()
+	if p.TxDevice.Name != channel.Pixel4.Name || p.RxDevice.Name != channel.GalaxyWatch4.Name {
+		t.Fatalf("devices (%s, %s) not taken from endpoints", p.TxDevice.Name, p.RxDevice.Name)
+	}
+	// The faster end sets the link motion.
+	if p.Motion.AccelMS2 != channel.FastMotion.AccelMS2 {
+		t.Fatalf("link motion %+v, want the faster end's", p.Motion)
+	}
+}
+
+func TestDetachedPairMatchesCachedRealization(t *testing.T) {
+	med := New(channel.Bridge)
+	a := med.AddNode(Position{X: 0, Z: 1})
+	b := med.AddNode(Position{X: 5, Z: 1})
+	ls := NewLinks(med, 48000, 5, true) // noise off: compare raw channels
+	cached, err := ls.Pair(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detached, err := ls.DetachedPair(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detached.fwd == cached.fwd || detached.bwd == cached.bwd {
+		t.Fatal("detached pair shares link state with the cache")
+	}
+	tone := dsp.Tone(2000, 0.05, 48000)
+	c := cached.Forward(tone, 0)
+	d := detached.Forward(tone, 0)
+	if len(c) != len(d) {
+		t.Fatalf("lengths differ: %d vs %d", len(c), len(d))
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatal("detached pair realizes a different channel")
+		}
+	}
+}
+
+func TestPruneKeepsCollisionStatsAndBusyAt(t *testing.T) {
+	build := func() *Medium {
+		med := New(channel.Bridge)
+		med.AddNode(Position{X: 0, Z: 1})
+		med.AddNode(Position{X: 6, Z: 1})
+		med.AddNode(Position{X: 0, Y: 8, Z: 1})
+		// Two early colliding packets, one isolated, then later traffic.
+		med.Transmit(Transmission{From: 0, StartS: 0.0, DurS: 0.6, Seq: 0})
+		med.Transmit(Transmission{From: 1, StartS: 0.3, DurS: 0.6, Seq: 0})
+		med.Transmit(Transmission{From: 2, StartS: 2.0, DurS: 0.6, Seq: 0})
+		med.Transmit(Transmission{From: 0, StartS: 9.5, DurS: 0.6, Seq: 1})
+		med.Transmit(Transmission{From: 1, StartS: 9.8, DurS: 0.6, Seq: 1})
+		return med
+	}
+	pruned, plain := build(), build()
+	const horizon = 9.0 // future starts >= 9.0; early packets prunable
+	pruned.Prune(horizon, 0.6)
+	if got := len(pruned.Transmissions()); got >= len(plain.Transmissions()) {
+		t.Fatalf("prune kept all %d transmissions", got)
+	}
+	perP, fracP := pruned.CollisionStats()
+	perN, fracN := plain.CollisionStats()
+	if fracP != fracN {
+		t.Fatalf("collision fraction changed: %g -> %g", fracN, fracP)
+	}
+	for n, c := range perN {
+		if perP[n] != c {
+			t.Fatalf("node %d stats changed: %v -> %v", n, c, perP[n])
+		}
+	}
+	// BusyAt agrees everywhere at or after the horizon.
+	for _, at := range []int{0, 1, 2} {
+		for tS := horizon; tS < 11; tS += 0.04 {
+			if pruned.BusyAt(at, tS) != plain.BusyAt(at, tS) {
+				t.Fatalf("BusyAt(%d, %g) diverged after prune", at, tS)
+			}
+		}
+	}
+	// New traffic after pruning keeps accumulating correctly.
+	pruned.Transmit(Transmission{From: 2, StartS: 9.9, DurS: 0.6, Seq: 1})
+	plain.Transmit(Transmission{From: 2, StartS: 9.9, DurS: 0.6, Seq: 1})
+	perP, fracP = pruned.CollisionStats()
+	perN, fracN = plain.CollisionStats()
+	if fracP != fracN {
+		t.Fatalf("post-prune traffic: fraction %g != %g", fracP, fracN)
+	}
+	for n, c := range perN {
+		if perP[n] != c {
+			t.Fatalf("post-prune traffic: node %d %v != %v", n, perP[n], c)
+		}
+	}
+	// Reset clears the aggregates too.
+	pruned.Reset()
+	if per, frac := pruned.CollisionStats(); len(per) != 0 || frac != 0 {
+		t.Fatalf("reset left accounting behind: %v %g", per, frac)
+	}
+}
+
+func TestPairMediumCarriesSignal(t *testing.T) {
+	med := New(channel.Bridge)
+	a := med.AddNode(Position{X: 0, Z: 1})
+	b := med.AddNode(Position{X: 5, Z: 1})
+	ls := NewLinks(med, 48000, 5, false)
+	pm, err := ls.Pair(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tone := dsp.Tone(2000, 0.1, 48000)
+	fwd := pm.Forward(tone, 0)
+	bwd := pm.Backward(tone, 0)
+	if dsp.RMS(fwd) <= 0 || dsp.RMS(bwd) <= 0 {
+		t.Fatal("pair medium lost the signal")
+	}
+	// Different multipath realizations per direction.
+	if len(fwd) == len(bwd) {
+		same := true
+		for i := range fwd {
+			if fwd[i] != bwd[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("forward and backward realizations identical")
+		}
+	}
+}

@@ -67,7 +67,17 @@ type Medium struct {
 	env       channel.Environment
 	positions []Position
 	trans     []Transmission
-	sorted    bool
+	// collided is parallel to trans: sticky per-transmission collision
+	// flags, so collisions with partners that Prune has since dropped
+	// stay counted.
+	collided []bool
+	sorted   bool
+	// maxDurS is the longest transmission duration ever registered
+	// (Prune's bound on how far back a future start can collide).
+	maxDurS float64
+	// Aggregate accounting for transmissions dropped by Prune.
+	prunedPerNode        map[int][2]int
+	prunedHit, prunedAll int
 	// CSRangeM bounds carrier-sense audibility (0 = unlimited); real
 	// deployments hear well past the 5-10 m node spacing.
 	CSRangeM float64
@@ -103,11 +113,15 @@ func (m *Medium) Transmit(tr Transmission) {
 		panic(fmt.Sprintf("sim: transmission from unknown node %d", tr.From))
 	}
 	m.trans = append(m.trans, tr)
+	m.collided = append(m.collided, false)
+	if tr.DurS > m.maxDurS {
+		m.maxDurS = tr.DurS
+	}
 	m.sorted = false
 }
 
-// Transmissions returns all registered transmissions sorted by start
-// time.
+// Transmissions returns the retained transmissions sorted by start
+// time (Prune may have folded older ones into aggregate counters).
 func (m *Medium) Transmissions() []Transmission {
 	m.ensureSorted()
 	return append([]Transmission(nil), m.trans...)
@@ -117,8 +131,20 @@ func (m *Medium) ensureSorted() {
 	if m.sorted {
 		return
 	}
-	sort.Slice(m.trans, func(i, j int) bool { return m.trans[i].StartS < m.trans[j].StartS })
+	sort.Sort(byStart{m})
 	m.sorted = true
+}
+
+// byStart co-sorts trans and its parallel collided flags.
+type byStart struct{ m *Medium }
+
+func (s byStart) Len() int { return len(s.m.trans) }
+func (s byStart) Less(i, j int) bool {
+	return s.m.trans[i].StartS < s.m.trans[j].StartS
+}
+func (s byStart) Swap(i, j int) {
+	s.m.trans[i], s.m.trans[j] = s.m.trans[j], s.m.trans[i]
+	s.m.collided[i], s.m.collided[j] = s.m.collided[j], s.m.collided[i]
 }
 
 // BusyAt reports whether node `at` hears any other node's signal at
@@ -148,34 +174,51 @@ func (m *Medium) audible(at int, tr Transmission) bool {
 	return m.positions[tr.From].DistanceTo(m.positions[at]) <= m.CSRangeM
 }
 
-// CollisionStats counts packets involved in collisions using the
-// paper's transmitter-side definition: two packets collide when their
-// transmit times fall within one packet duration of each other. The
-// returned slice gives, per node, (collided, total) packet counts.
-func (m *Medium) CollisionStats() (perNode map[int][2]int, fraction float64) {
+// markCollisions refreshes the sticky per-transmission collision
+// flags using the paper's transmitter-side definition: two packets
+// collide when their transmit times fall within one packet duration
+// of each other. Flags only ever turn on (collisions with partners
+// Prune has since dropped stay counted).
+func (m *Medium) markCollisions() {
 	m.ensureSorted()
-	collided := make([]bool, len(m.trans))
 	for i := 0; i < len(m.trans); i++ {
 		for j := i + 1; j < len(m.trans); j++ {
 			a, b := m.trans[i], m.trans[j]
-			// Sorted by start: stop once b starts a full packet
-			// duration after a (no further overlap possible).
-			if b.StartS-a.StartS >= math.Max(a.DurS, b.DurS) {
+			gap := b.StartS - a.StartS
+			// Sorted by start: stop once b starts later than the
+			// longest duration ever registered after a — no packet,
+			// whatever its duration, can still reach back to a.
+			if gap >= m.maxDurS {
 				break
+			}
+			// Durations vary per band: this pair may be clear while a
+			// later, longer packet still collides with a.
+			if gap >= math.Max(a.DurS, b.DurS) {
+				continue
 			}
 			if a.From == b.From {
 				continue
 			}
-			collided[i] = true
-			collided[j] = true
+			m.collided[i] = true
+			m.collided[j] = true
 		}
 	}
+}
+
+// CollisionStats counts packets involved in collisions (see
+// markCollisions for the definition), including everything Prune has
+// folded away. The map gives, per node, (collided, total) counts.
+func (m *Medium) CollisionStats() (perNode map[int][2]int, fraction float64) {
+	m.markCollisions()
 	perNode = make(map[int][2]int)
-	total, hit := 0, 0
+	total, hit := m.prunedAll, m.prunedHit
+	for n, c := range m.prunedPerNode {
+		perNode[n] = c
+	}
 	for i, tr := range m.trans {
 		c := perNode[tr.From]
 		c[1]++
-		if collided[i] {
+		if m.collided[i] {
 			c[0]++
 			hit++
 		}
@@ -188,8 +231,72 @@ func (m *Medium) CollisionStats() (perNode map[int][2]int, fraction float64) {
 	return perNode, fraction
 }
 
-// Reset clears registered transmissions but keeps nodes.
+// Prune folds transmissions that can no longer interact with virtual
+// times at or after horizonS into the aggregate collision counters,
+// bounding the retained log. maxFutureDurS bounds the duration of any
+// transmission the caller may yet register (the Network passes its
+// worst-case narrowest-band airtime); durations already seen extend
+// the bound automatically. The caller guarantees that every future
+// transmission starts at horizonS or later and that BusyAt is never
+// again polled before horizonS (the public Network's monotonic commit
+// frontier provides both). Pruned packets stay in CollisionStats.
+func (m *Medium) Prune(horizonS, maxFutureDurS float64) {
+	if len(m.trans) == 0 {
+		return
+	}
+	// Finalize collision flags while every partner is still present.
+	m.markCollisions()
+	maxDur := math.Max(m.maxDurS, maxFutureDurS)
+	maxDelay := m.maxDelayS()
+	if m.prunedPerNode == nil {
+		m.prunedPerNode = make(map[int][2]int)
+	}
+	kept := m.trans[:0]
+	keptFlags := m.collided[:0]
+	for i, tr := range m.trans {
+		// Safe to drop only when inaudible everywhere from horizonS on
+		// (EndS + max propagation delay) and unable to collide with
+		// any future start (StartS + the longest possible duration).
+		if tr.EndS()+maxDelay <= horizonS && tr.StartS+maxDur <= horizonS {
+			c := m.prunedPerNode[tr.From]
+			c[1]++
+			m.prunedAll++
+			if m.collided[i] {
+				c[0]++
+				m.prunedHit++
+			}
+			m.prunedPerNode[tr.From] = c
+			continue
+		}
+		kept = append(kept, tr)
+		keptFlags = append(keptFlags, m.collided[i])
+	}
+	m.trans = kept
+	m.collided = keptFlags
+}
+
+// maxDelayS returns an upper bound on the propagation delay to any
+// node, present or plausibly future: the larger of the current
+// pairwise maximum and the environment's usable span (covering nodes
+// that join, anywhere on the site, after a prune).
+func (m *Medium) maxDelayS() float64 {
+	maxD := m.env.MaxRangeM
+	for i := 0; i < len(m.positions); i++ {
+		for j := i + 1; j < len(m.positions); j++ {
+			if d := m.positions[i].DistanceTo(m.positions[j]); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD / channel.SoundSpeed
+}
+
+// Reset clears registered transmissions and all collision accounting
+// (including Prune's aggregates) but keeps nodes.
 func (m *Medium) Reset() {
 	m.trans = m.trans[:0]
+	m.collided = m.collided[:0]
+	m.prunedPerNode = nil
+	m.prunedHit, m.prunedAll = 0, 0
 	m.sorted = true
 }

@@ -16,23 +16,25 @@ type WaveTransmission struct {
 }
 
 // WaveMedium mixes transmissions into per-receiver audio using one
-// channel link per (tx, rx) pair. It is built lazily: links are
-// created on first use and cached, keyed by the pair.
+// channel link per (tx, rx) pair. Links are built lazily through a
+// shared Links cache (noise-off: ambient noise is added once per
+// receiver window, not per link).
 type WaveMedium struct {
 	*Medium
 	sampleRate int
 	seed       int64
-	links      map[[2]int]*channel.Link
+	links      *Links
 	waves      []WaveTransmission
 }
 
 // NewWaveMedium wraps a medium for waveform mixing.
 func NewWaveMedium(env channel.Environment, sampleRate int, seed int64) *WaveMedium {
+	med := New(env)
 	return &WaveMedium{
-		Medium:     New(env),
+		Medium:     med,
 		sampleRate: sampleRate,
 		seed:       seed,
-		links:      make(map[[2]int]*channel.Link),
+		links:      NewLinks(med, sampleRate, seed, true),
 	}
 }
 
@@ -43,43 +45,6 @@ func (w *WaveMedium) TransmitWave(from int, startS float64, seq int, samples []f
 	tr := Transmission{From: from, StartS: startS, DurS: dur, Seq: seq}
 	w.Transmit(tr)
 	w.waves = append(w.waves, WaveTransmission{Transmission: tr, Samples: samples})
-}
-
-// link returns (building if needed) the channel from tx to rx.
-func (w *WaveMedium) link(tx, rx int) (*channel.Link, error) {
-	key := [2]int{tx, rx}
-	if l, ok := w.links[key]; ok {
-		return l, nil
-	}
-	pt, pr := w.positions[tx], w.positions[rx]
-	dist := pt.DistanceTo(pr)
-	if dist < 0.5 {
-		dist = 0.5
-	}
-	l, err := channel.NewLink(channel.LinkParams{
-		Env:        w.env,
-		DistanceM:  dist,
-		TxDepthM:   clampDepth(pt.Z, w.env.DepthM),
-		RxDepthM:   clampDepth(pr.Z, w.env.DepthM),
-		SampleRate: w.sampleRate,
-		Seed:       w.seed + int64(tx)*1009 + int64(rx)*9176,
-		NoiseOff:   true, // noise is added once per receiver window
-	})
-	if err != nil {
-		return nil, err
-	}
-	w.links[key] = l
-	return l, nil
-}
-
-func clampDepth(z, depth float64) float64 {
-	if z <= 0 {
-		return 1
-	}
-	if z >= depth {
-		return depth - 0.5
-	}
-	return z
 }
 
 // ReceiveWindow renders what node rx hears during [fromS, toS): all
@@ -101,7 +66,7 @@ func (w *WaveMedium) ReceiveWindow(rx int, fromS, toS float64) ([]float64, error
 		if endS <= fromS || arriveS >= toS {
 			continue
 		}
-		l, err := w.link(wt.From, rx)
+		l, err := w.links.Link(wt.From, rx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,270 @@
+package aquago
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"aquago/internal/mac"
+	"aquago/internal/modem"
+	"aquago/internal/phy"
+	"aquago/internal/sim"
+)
+
+// joinStaggerS bounds the default seed-derived initial clock stagger
+// drawn at Join (see WithNodeClock).
+const joinStaggerS = 1.5
+
+// Position locates a node in meters; Z is depth below the surface.
+type Position = sim.Position
+
+// ContentionConfig parameterizes a batch contention simulation
+// (SimulateContention); zero values take the paper defaults (120
+// packets per transmitter, 0.6 s packets, 3.2 s mean gap, the
+// energy-only quiet window).
+type ContentionConfig = mac.Config
+
+// ContentionResult reports a batch contention simulation: per-node
+// (collided, sent) counts, the overall collision fraction, and the
+// simulated duration.
+type ContentionResult = mac.Result
+
+// NetworkOption customizes NewNetwork.
+type NetworkOption func(*networkConfig)
+
+type networkConfig struct {
+	seed            int64
+	csRangeM        float64
+	carrierSense    bool
+	preambleAware   bool
+	accessDeadlineS float64
+	retries         int
+	trace           Trace
+}
+
+// WithNetworkSeed fixes the random realization of every channel and
+// every node's MAC backoff draws (default 1).
+func WithNetworkSeed(seed int64) NetworkOption {
+	return func(c *networkConfig) { c.seed = seed }
+}
+
+// WithCSRange bounds carrier-sense audibility to the given distance
+// in meters (default 0 = unlimited; real deployments hear well past
+// the 5-10 m node spacing).
+func WithCSRange(meters float64) NetworkOption {
+	return func(c *networkConfig) { c.csRangeM = meters }
+}
+
+// WithoutCarrierSense disables the MAC: nodes transmit as soon as
+// they are ready (the paper's Fig 19 baseline).
+func WithoutCarrierSense() NetworkOption {
+	return func(c *networkConfig) { c.carrierSense = false }
+}
+
+// WithPreambleAwareSense upgrades carrier sense with preamble
+// detection (§2.4's suggested improvement): an exchange's silent
+// feedback window still reads as busy, eliminating the residual
+// collisions of energy-only sensing.
+func WithPreambleAwareSense() NetworkOption {
+	return func(c *networkConfig) { c.preambleAware = true }
+}
+
+// WithAccessDeadline bounds how long (in virtual seconds) a Send may
+// wait for the MAC to grant the channel before failing with
+// ErrChannelBusy (default 300; <= 0 waits without bound).
+func WithAccessDeadline(virtualSeconds float64) NetworkOption {
+	return func(c *networkConfig) { c.accessDeadlineS = virtualSeconds }
+}
+
+// WithNetworkRetries sets every node's extra attempt budget after an
+// unacknowledged transmission (default 2).
+func WithNetworkRetries(n int) NetworkOption {
+	return func(c *networkConfig) { c.retries = n }
+}
+
+// WithNetworkTrace installs a stage trace on every node that does not
+// carry its own (WithNodeTrace wins per node).
+func WithNetworkTrace(t Trace) NetworkOption {
+	return func(c *networkConfig) { c.trace = t }
+}
+
+// Network is a shared body of simulated water that up to 60 devices
+// contend for (§2.4 of the paper). It owns:
+//
+//   - an envelope-mode acoustic medium tracking what is on the air
+//     where and when (carrier sense, collision accounting — Fig 19),
+//   - a lazily built channel link for every directed node pair,
+//     derived from node geometry, and
+//   - per-node protocol stacks on one shared virtual timeline.
+//
+// Nodes enter with Join; Node.Send runs the full adaptive protocol
+// through the carrier-sense MAC. The two-endpoint SimulatedWater +
+// Session API is the 2-node special case of this surface (a Session
+// can run over Node.MediumTo's pair medium directly).
+//
+// All methods are safe for concurrent use; one network-wide lock
+// serializes virtual-time bookkeeping, so concurrency buys API
+// convenience (nodes sending from independent goroutines), not
+// parallel simulation throughput.
+type Network struct {
+	env Environment
+	cfg networkConfig
+
+	mu    sync.Mutex
+	med   *sim.Medium
+	links *sim.Links
+	nodes map[DeviceID]*Node
+	order []*Node
+	// frontierS is the virtual commit frontier: one sense interval
+	// past the latest committed transmission start. Sends resolve
+	// under the lock in call order, which need not match virtual-time
+	// order; bumping every attempt's ready time to the frontier keeps
+	// the simulation causal — a send can never start in the
+	// already-simulated past, where carrier sense could not have heard
+	// transmissions that were committed after it.
+	frontierS float64
+	// wcAirtimeS is the worst-case (narrowest-band) exchange airtime
+	// across joined nodes — Prune's bound on future durations.
+	wcAirtimeS float64
+}
+
+// NewNetwork creates an empty network in the given environment.
+func NewNetwork(env Environment, opts ...NetworkOption) (*Network, error) {
+	cfg := networkConfig{
+		seed:            1,
+		carrierSense:    true,
+		accessDeadlineS: 300,
+		retries:         2,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	med := sim.New(env)
+	med.CSRangeM = cfg.csRangeM
+	return &Network{
+		env:   env,
+		cfg:   cfg,
+		med:   med,
+		links: sim.NewLinks(med, modem.DefaultConfig().SampleRate, cfg.seed, false),
+		nodes: make(map[DeviceID]*Node),
+	}, nil
+}
+
+// Environment returns the network's deployment site.
+func (n *Network) Environment() Environment { return n.env }
+
+// NumNodes returns how many devices have joined.
+func (n *Network) NumNodes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.order)
+}
+
+// Join adds a device at the given position and returns its Node. IDs
+// must be unique and in [0, 60); positions with Z outside the water
+// column are clamped to it.
+func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, error) {
+	nc := nodeConfig{}
+	for _, o := range opts {
+		o(&nc)
+	}
+	m, err := modem.New(modem.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if !id.Valid(m.Config()) {
+		return nil, fmt.Errorf("%w: %d", ErrBadDeviceID, id)
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateDevice, id)
+	}
+	idx := n.med.AddNode(pos)
+	n.links.SetEndpoint(idx, sim.Endpoint{Device: nc.device, Motion: nc.motion})
+
+	nd := &Node{
+		net:   n,
+		id:    id,
+		idx:   idx,
+		pos:   pos,
+		trace: nc.trace,
+	}
+	if nc.clockSet {
+		nd.clockS = nc.clockS
+	} else {
+		staggerRng := rand.New(rand.NewSource(n.cfg.seed*40503 + int64(idx)*997 + 11))
+		nd.clockS = staggerRng.Float64() * joinStaggerS
+	}
+	nd.proto = phy.New(m, phy.Options{OnStage: nd.onStage})
+	nd.msgr = newNodeMessenger(nd.proto, id, n.cfg.retries)
+	nd.cont = mac.NewContender(mac.Config{
+		CarrierSense:  n.cfg.carrierSense,
+		PreambleAware: n.cfg.preambleAware,
+		Seed:          n.cfg.seed*31 + int64(idx)*1009 + 7,
+	})
+	// The MAC quantum uses the full-band exchange airtime: the actual
+	// on-air duration depends on the band Bob picks mid-exchange,
+	// which the transmitter cannot know when it reserves the channel
+	// (registration happens post-exchange with the real duration). A
+	// width-1 band bounds any duration a future exchange can register.
+	nd.airtimeS = nd.proto.PacketAirtimeS(modem.FullBand(m.Config()))
+	if wc := nd.proto.PacketAirtimeS(modem.Band{Lo: 0, Hi: 0}); wc > n.wcAirtimeS {
+		n.wcAirtimeS = wc
+	}
+	n.nodes[id] = nd
+	n.order = append(n.order, nd)
+	return nd, nil
+}
+
+// Node returns the joined node with the given ID.
+func (n *Network) Node(id DeviceID) (*Node, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[id]
+	return nd, ok
+}
+
+// CollisionStats reports envelope-mode collision accounting over all
+// live sends so far, keyed by device ID: per device (collided, sent)
+// packet counts, plus the overall collided fraction. Two packets
+// collide when their transmit times fall within one packet duration
+// of each other (the paper's transmitter-side definition).
+func (n *Network) CollisionStats() (perDevice map[DeviceID][2]int, fraction float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	perIdx, frac := n.med.CollisionStats()
+	perDevice = make(map[DeviceID][2]int, len(perIdx))
+	for _, nd := range n.order {
+		if c, ok := perIdx[nd.idx]; ok {
+			perDevice[nd.id] = c
+		}
+	}
+	return perDevice, frac
+}
+
+// SimulateContention runs a batch scripted-traffic contention
+// simulation (the paper's Fig 19 methodology): each tx node sends
+// cfg.PacketsPerTx packets with random inter-packet gaps, contending
+// under the network's carrier-sense settings, and the envelope medium
+// counts collisions. The run uses a scratch copy of the medium with
+// the same node geometry, so live state — node clocks, the on-air
+// transmission log, CollisionStats — is untouched.
+//
+// The per-node counts in the result are keyed by node index
+// (Node.Index), matching the live medium's numbering.
+func (n *Network) SimulateContention(tx []*Node, cfg ContentionConfig) ContentionResult {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	scratch := sim.New(n.env)
+	scratch.CSRangeM = n.cfg.csRangeM
+	for _, nd := range n.order {
+		scratch.AddNode(nd.pos)
+	}
+	ids := make([]int, len(tx))
+	for i, nd := range tx {
+		ids[i] = nd.idx
+	}
+	return mac.RunNetwork(scratch, ids, cfg)
+}

@@ -1,0 +1,366 @@
+package aquago_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"aquago"
+
+	"aquago/internal/mac"
+	"aquago/internal/sim"
+)
+
+// countingTrace counts stage callbacks and remembers stage order.
+type countingTrace struct {
+	mu     sync.Mutex
+	events []aquago.StageEvent
+}
+
+func (ct *countingTrace) OnStage(ev aquago.StageEvent) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.events = append(ct.events, ev)
+}
+
+func (ct *countingTrace) count() int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return len(ct.events)
+}
+
+// buildTriangle makes a 3-node network: receiver 0 plus senders 1, 2
+// within a few meters, in the calm bridge site (static water, so the
+// per-pair channels are time-invariant and concurrent scheduling
+// cannot change exchange outcomes).
+func buildTriangle(t *testing.T, seed int64, opts ...aquago.NetworkOption) (*aquago.Network, *aquago.Node, *aquago.Node, *aquago.Node) {
+	t.Helper()
+	net, err := aquago.NewNetwork(aquago.Bridge,
+		append([]aquago.NetworkOption{aquago.WithNetworkSeed(seed)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := net.Join(0, aquago.Position{X: 0, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Join(1, aquago.Position{X: 5, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Join(2, aquago.Position{X: -4, Y: 3, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, recv, a, b
+}
+
+// concurrentSends fires one Send from each of a and b on separate
+// goroutines and returns the results keyed by sender ID.
+func concurrentSends(t *testing.T, a, b *aquago.Node) map[aquago.DeviceID]aquago.SendResult {
+	t.Helper()
+	okMsg, _ := aquago.LookupMessage("OK?")
+	upMsg, _ := aquago.LookupMessage("Go up")
+	results := make(map[aquago.DeviceID]aquago.SendResult, 2)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, nd := range []*aquago.Node{a, b} {
+		wg.Add(1)
+		go func(nd *aquago.Node) {
+			defer wg.Done()
+			res, err := nd.Send(context.Background(), 0, okMsg.ID, upMsg.ID)
+			if err != nil {
+				t.Errorf("node %d send: %v", nd.ID(), err)
+			}
+			mu.Lock()
+			results[nd.ID()] = res
+			mu.Unlock()
+		}(nd)
+	}
+	wg.Wait()
+	return results
+}
+
+func TestNetworkConcurrentSendsUnderCarrierSense(t *testing.T) {
+	trace := &countingTrace{}
+	net, _, a, b := buildTriangle(t, 3, aquago.WithNetworkTrace(trace))
+
+	results := concurrentSends(t, a, b)
+	for id, res := range results {
+		if !res.Delivered || !res.Acknowledged {
+			t.Fatalf("node %d: not delivered/acknowledged: %+v", id, res)
+		}
+		if res.Attempts != 1 {
+			t.Fatalf("node %d: %d attempts on a clean channel", id, res.Attempts)
+		}
+	}
+	if trace.count() == 0 {
+		t.Fatal("no trace stage callbacks fired")
+	}
+
+	// Carrier sense serialized the two senders: nothing collided.
+	per, frac := net.CollisionStats()
+	if frac != 0 {
+		t.Fatalf("collision fraction %.2f with carrier sense, want 0 (%v)", frac, per)
+	}
+	sent := 0
+	for _, c := range per {
+		sent += c[1]
+	}
+	if sent != 2 {
+		t.Fatalf("envelope medium saw %d packets, want 2", sent)
+	}
+}
+
+func TestNetworkDeterministicAcrossRuns(t *testing.T) {
+	// Fixed seed => identical SendResults, run to run, regardless of
+	// how the two sending goroutines interleave: per-pair channels are
+	// seeded per pair and (static bridge water) time-invariant, and
+	// each node's MAC randomness is its own stream.
+	run := func() map[aquago.DeviceID]aquago.SendResult {
+		_, _, a, b := buildTriangle(t, 3)
+		return concurrentSends(t, a, b)
+	}
+	first := run()
+	for trial := 0; trial < 3; trial++ {
+		if got := run(); !reflect.DeepEqual(first, got) {
+			t.Fatalf("run %d diverged:\nfirst: %+v\ngot:   %+v", trial, first, got)
+		}
+	}
+}
+
+func TestNetworkWithoutCarrierSenseCollides(t *testing.T) {
+	// Pin both senders' clocks to 0 so their transmissions overlap;
+	// with the MAC disabled nobody listens first and the envelope
+	// accounting sees the collision.
+	net, err := aquago.NewNetwork(aquago.Bridge,
+		aquago.WithNetworkSeed(3), aquago.WithoutCarrierSense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Join(1, aquago.Position{X: 5, Z: 1}, aquago.WithNodeClock(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Join(2, aquago.Position{X: -4, Y: 3, Z: 1}, aquago.WithNodeClock(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrentSends(t, a, b)
+	_, frac := net.CollisionStats()
+	if frac != 1 {
+		t.Fatalf("collision fraction %.2f without carrier sense, want 1", frac)
+	}
+}
+
+func TestNetworkTraceStageOrder(t *testing.T) {
+	trace := &countingTrace{}
+	net, err := aquago.NewNetwork(aquago.Bridge, aquago.WithNetworkSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Per-node trace overrides the (absent) network trace.
+	sender, err := net.Join(1, aquago.Position{X: 5, Z: 1}, aquago.WithNodeTrace(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	okMsg, _ := aquago.LookupMessage("OK?")
+	res, err := sender.Send(context.Background(), 0, okMsg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Acknowledged {
+		t.Fatalf("send not acknowledged: %+v", res)
+	}
+	want := []aquago.Stage{
+		aquago.StagePreamble, aquago.StageSNR, aquago.StageBand,
+		aquago.StageFeedback, aquago.StageData, aquago.StageACK,
+	}
+	if len(trace.events) != len(want) {
+		t.Fatalf("got %d stage events, want %d: %+v", len(trace.events), len(want), trace.events)
+	}
+	for i, ev := range trace.events {
+		if ev.Stage != want[i] {
+			t.Fatalf("stage %d = %v, want %v", i, ev.Stage, want[i])
+		}
+		if !ev.OK {
+			t.Fatalf("stage %v reported failure on a clean exchange", ev.Stage)
+		}
+	}
+	// SNR stage carries the per-subcarrier estimate.
+	if len(trace.events[1].SNRdB) == 0 {
+		t.Fatal("SNR stage event missing the per-subcarrier estimate")
+	}
+}
+
+func TestNetworkErrorTaxonomy(t *testing.T) {
+	net, _, a, _ := buildTriangle(t, 9)
+	ctx := context.Background()
+	okMsg, _ := aquago.LookupMessage("OK?")
+
+	if _, err := net.Join(1, aquago.Position{X: 9, Z: 1}); !errors.Is(err, aquago.ErrDuplicateDevice) {
+		t.Fatalf("duplicate join: %v", err)
+	}
+	if _, err := net.Join(77, aquago.Position{X: 9, Z: 1}); !errors.Is(err, aquago.ErrBadDeviceID) {
+		t.Fatalf("out-of-range join: %v", err)
+	}
+	if _, err := a.Send(ctx, 42, okMsg.ID); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("send to stranger: %v", err)
+	}
+	if _, err := a.Send(ctx, 0); !errors.Is(err, aquago.ErrBadMessage) {
+		t.Fatalf("empty send: %v", err)
+	}
+	if _, err := a.Send(ctx, 0, 1, 2, 3); !errors.Is(err, aquago.ErrBadMessage) {
+		t.Fatalf("3-message send: %v", err)
+	}
+	if _, err := a.Send(ctx, 0, 250); !errors.Is(err, aquago.ErrBadMessage) {
+		t.Fatalf("out-of-codebook send: %v", err)
+	}
+	if _, err := a.Send(ctx, a.ID(), okMsg.ID); !errors.Is(err, aquago.ErrBadDeviceID) {
+		t.Fatalf("self send: %v", err)
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := a.Send(cancelled, 0, okMsg.ID); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled send: %v", err)
+	}
+}
+
+func TestNetworkChannelBusyDeadline(t *testing.T) {
+	// A tiny access deadline: the first sender parks a packet on the
+	// air starting at 0; the second becomes ready 100 ms in — well
+	// inside that airtime — and its backoff cannot drain in time.
+	net, err := aquago.NewNetwork(aquago.Bridge,
+		aquago.WithNetworkSeed(3), aquago.WithAccessDeadline(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Join(1, aquago.Position{X: 5, Z: 1}, aquago.WithNodeClock(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Join(2, aquago.Position{X: -4, Y: 3, Z: 1}, aquago.WithNodeClock(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	okMsg, _ := aquago.LookupMessage("OK?")
+	if _, err := a.Send(ctx, 0, okMsg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Send(ctx, 0, okMsg.ID); !errors.Is(err, aquago.ErrChannelBusy) {
+		t.Fatalf("want ErrChannelBusy, got %v", err)
+	}
+}
+
+func TestNodeMediumToRunsASession(t *testing.T) {
+	// The two-endpoint Session is the 2-node special case: run one
+	// over a network pair's geometry-derived medium.
+	_, _, a, b := buildTriangle(t, 3)
+	med, err := a.MediumTo(b.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := aquago.Dial(a.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	okMsg, _ := aquago.LookupMessage("OK?")
+	res, err := sess.Send(med, b.ID(), okMsg.ID, aquago.NoMessage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatalf("session over network pair failed: %+v", res)
+	}
+	if _, err := a.MediumTo(42); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("MediumTo stranger: %v", err)
+	}
+}
+
+// TestMediumToConcurrentWithNetworkTraffic drives a Session over a
+// node pair's detached medium while the same pair carries live
+// network sends — the two surfaces must not share mutable link state
+// (run under -race in CI).
+func TestMediumToConcurrentWithNetworkTraffic(t *testing.T) {
+	_, _, a, b := buildTriangle(t, 3)
+	med, err := a.MediumTo(b.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := aquago.Dial(a.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	okMsg, _ := aquago.LookupMessage("OK?")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			if _, err := sess.Send(med, b.ID(), okMsg.ID, aquago.NoMessage); err != nil {
+				t.Errorf("session over MediumTo: %v", err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			if _, err := a.Send(context.Background(), b.ID(), okMsg.ID); err != nil {
+				t.Errorf("network send: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestSimulateContentionMatchesInternalMAC(t *testing.T) {
+	// The public batch simulation must reproduce the internal engine
+	// exactly (cmd/aquanet's Fig 19 numbers ride on this).
+	net, err := aquago.NewNetwork(aquago.Bridge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var tx []*aquago.Node
+	for i := 0; i < 3; i++ {
+		nd, err := net.Join(aquago.DeviceID(i+1),
+			aquago.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx = append(tx, nd)
+	}
+	cfg := aquago.ContentionConfig{CarrierSense: true, PacketsPerTx: 40, Seed: 11}
+	got := net.SimulateContention(tx, cfg)
+
+	med := sim.New(aquago.Bridge)
+	med.AddNode(sim.Position{X: 0, Z: 1})
+	var ids []int
+	for i := 0; i < 3; i++ {
+		ids = append(ids, med.AddNode(sim.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1}))
+	}
+	want := mac.RunNetwork(med, ids, mac.Config{CarrierSense: true, PacketsPerTx: 40, Seed: 11})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("public contention result diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Batch traffic must not pollute live collision accounting.
+	if per, _ := net.CollisionStats(); len(per) != 0 {
+		t.Fatalf("batch packets leaked into live accounting: %v", per)
+	}
+}

@@ -1,0 +1,226 @@
+package aquago
+
+import (
+	"context"
+	"fmt"
+
+	"aquago/internal/app"
+	"aquago/internal/mac"
+	"aquago/internal/phy"
+)
+
+// NodeOption customizes Join.
+type NodeOption func(*nodeConfig)
+
+type nodeConfig struct {
+	device   Device
+	motion   Motion
+	trace    Trace
+	clockS   float64
+	clockSet bool
+}
+
+// WithNodeDevice selects the node's device model (default Galaxy S9).
+// Every link the node participates in uses it on that node's end.
+func WithNodeDevice(d Device) NodeOption {
+	return func(c *nodeConfig) { c.device = d }
+}
+
+// WithNodeMotion applies a motion model to the node (Static,
+// SlowMotion, FastMotion). A link between two nodes varies as fast as
+// its faster-moving end.
+func WithNodeMotion(m Motion) NodeOption {
+	return func(c *nodeConfig) { c.motion = m }
+}
+
+// WithNodeTrace installs a per-node stage trace, overriding the
+// network-wide trace for this node's sends.
+func WithNodeTrace(t Trace) NodeOption {
+	return func(c *nodeConfig) { c.trace = t }
+}
+
+// WithNodeClock pins the node's initial virtual clock (the time its
+// first transmission becomes ready). By default each node draws a
+// seed-derived stagger in [0, 1.5) s, modelling devices that power up
+// at uncoordinated instants; without it, sample-synchronized nodes
+// start transmitting inside each other's propagation delay, where
+// carrier sense cannot help (the CSMA vulnerability window). Pin 0 on
+// several nodes to force that window deliberately.
+func WithNodeClock(atS float64) NodeOption {
+	return func(c *nodeConfig) { c.clockS, c.clockSet = atS, true }
+}
+
+// interSendGapS is the virtual pause a node keeps after its own
+// traffic before it next becomes ready (matches the Session clock
+// advance).
+const interSendGapS = 0.25
+
+// Node is one device in a Network: a protocol stack (modem, band
+// adaptation, messenger), a carrier-sense contender, and a position
+// in the shared water. Obtain nodes from Network.Join.
+//
+// Send is safe to call from any goroutine; the network serializes
+// exchanges on its shared virtual timeline. Each node keeps its own
+// virtual clock, so one node's traffic delays another only through
+// the MAC (a busy channel extends the other's backoff), exactly as
+// contention works on the air.
+type Node struct {
+	net   *Network
+	id    DeviceID
+	idx   int
+	pos   Position
+	proto *phy.Protocol
+	msgr  *app.Messenger
+	cont  *mac.Contender
+	trace Trace
+
+	// Guarded by net.mu.
+	clockS   float64
+	airtimeS float64
+	seq      int
+}
+
+// newNodeMessenger wires a messenger with the network's retry budget.
+func newNodeMessenger(proto *phy.Protocol, id DeviceID, retries int) *app.Messenger {
+	ms := app.NewMessenger(proto, id)
+	ms.Retries = retries
+	return ms
+}
+
+// ID returns the node's device ID.
+func (nd *Node) ID() DeviceID { return nd.id }
+
+// Index returns the node's index in the shared medium (join order),
+// the key used by ContentionResult.PerNode.
+func (nd *Node) Index() int { return nd.idx }
+
+// Position returns where the node sits.
+func (nd *Node) Position() Position { return nd.pos }
+
+// ClockS returns the node's virtual clock: the time its next
+// transmission becomes ready.
+func (nd *Node) ClockS() float64 {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	return nd.clockS
+}
+
+// onStage routes protocol stage events to the node's trace, falling
+// back to the network-wide trace.
+func (nd *Node) onStage(ev phy.StageEvent) {
+	switch {
+	case nd.trace != nil:
+		nd.trace.OnStage(ev)
+	case nd.net.cfg.trace != nil:
+		nd.net.cfg.trace.OnStage(ev)
+	}
+}
+
+// MediumTo returns the two-direction medium between this node and
+// dst, built from their geometry: Forward carries this node's voice,
+// Backward the destination's. It is the bridge to the two-endpoint
+// API — a Session can run over it directly, making SimulatedWater +
+// Session the 2-node special case of a Network.
+//
+// The medium realizes the same channel Node.Send uses (same seeds)
+// but owns fresh link state, so driving it concurrently with network
+// traffic is safe; it bypasses the MAC and the envelope accounting.
+func (nd *Node) MediumTo(dst DeviceID) (Medium, error) {
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	peer, ok := n.nodes[dst]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownDevice, dst)
+	}
+	return n.links.DetachedPair(nd.idx, peer.idx)
+}
+
+// Send delivers one or two codebook messages to dst through the full
+// adaptive protocol, gated per attempt by the carrier-sense MAC on
+// the network's shared virtual timeline. Each physical attempt is
+// registered with the envelope medium, so CollisionStats accounts for
+// it and other nodes' carrier sense hears it.
+//
+// Errors wrap the public taxonomy: ErrBadMessage (zero, >2 or unknown
+// messages), ErrUnknownDevice, ErrChannelBusy (no MAC grant within
+// the network's access deadline), ErrNoACK (all attempts went
+// unacknowledged; the returned SendResult still describes them), or
+// ctx's error when cancelled between attempts.
+func (nd *Node) Send(ctx context.Context, dst DeviceID, msgs ...uint8) (SendResult, error) {
+	if len(msgs) < 1 || len(msgs) > 2 {
+		return SendResult{}, fmt.Errorf("%w: send carries 1 or 2 messages, got %d", ErrBadMessage, len(msgs))
+	}
+	first := msgs[0]
+	second := uint8(NoMessage)
+	if len(msgs) == 2 {
+		second = msgs[1]
+	}
+
+	n := nd.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	peer, ok := n.nodes[dst]
+	if !ok {
+		return SendResult{}, fmt.Errorf("%w: %d", ErrUnknownDevice, dst)
+	}
+	if peer == nd {
+		return SendResult{}, fmt.Errorf("%w: node %d cannot send to itself", ErrBadDeviceID, dst)
+	}
+	pair, err := n.links.Pair(nd.idx, peer.idx)
+	if err != nil {
+		return SendResult{}, err
+	}
+
+	// The gate runs once per attempt: prune the envelope log behind
+	// the commit frontier, then carrier-sense until the MAC grants the
+	// channel. The attempt goes on the air afterwards (OnAttempt),
+	// with its actual duration — nothing else can run between the two
+	// because the whole Send holds the network lock.
+	var lastStartS, lastDurS float64
+	nd.msgr.Gate = func(readyS float64) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		// Never start behind the network's commit frontier (see the
+		// frontierS field): later-arriving sends are pulled forward to
+		// where they can hear everything already on the air.
+		if readyS < n.frontierS {
+			readyS = n.frontierS
+		}
+		n.med.Prune(n.frontierS, n.wcAirtimeS)
+		start, granted := nd.cont.Acquire(func(tS float64) bool {
+			return n.med.BusyAt(nd.idx, tS)
+		}, readyS, nd.airtimeS, n.cfg.accessDeadlineS)
+		if !granted {
+			return 0, fmt.Errorf("%w: no access within %.0f virtual seconds",
+				ErrChannelBusy, n.cfg.accessDeadlineS)
+		}
+		if f := start + mac.SenseIntervalS; f > n.frontierS {
+			n.frontierS = f
+		}
+		return start, nil
+	}
+	// After each exchange the band — and with it the true on-air
+	// duration — is known; register the attempt in envelope mode so
+	// collision accounting and other nodes' carrier sense see it.
+	nd.msgr.OnAttempt = func(startS float64, res Result) {
+		// Exchanges that aborted before the feedback round never put a
+		// data section on the air; reserve the full-band estimate.
+		durS := nd.airtimeS
+		if res.FeedbackDecoded {
+			durS = nd.proto.PacketAirtimeS(res.FeedbackBand)
+		}
+		n.med.Transmit(nd.cont.Transmission(nd.idx, startS, durS, nd.seq))
+		nd.seq++
+		lastStartS, lastDurS = startS, durS
+	}
+	defer func() { nd.msgr.Gate, nd.msgr.OnAttempt = nil, nil }()
+
+	res, err := nd.msgr.Send(pair, dst, first, second, nd.clockS)
+	if res.Attempts > 0 && lastDurS > 0 {
+		// Advance past the last attempt's actual airtime.
+		nd.clockS = lastStartS + lastDurS + interSendGapS
+	}
+	return res, err
+}

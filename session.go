@@ -1,6 +1,8 @@
 package aquago
 
 import (
+	"sync"
+
 	"aquago/internal/app"
 	"aquago/internal/channel"
 	"aquago/internal/modem"
@@ -77,8 +79,15 @@ func (s swappedMedium) Backward(tx []float64, atS float64) []float64 {
 
 // Session runs the full adaptive protocol (preamble, SNR estimation,
 // band adaptation, feedback, data, ACK with retransmission) between
-// two endpoints over a Medium.
+// two endpoints over a Medium. It is the 2-node special case of the
+// Network/Node surface: the same protocol stack without geometry or a
+// MAC (see Node.MediumTo for running a Session over a network pair).
+//
+// A Session is safe for concurrent use; a mutex serializes sends, so
+// concurrent callers queue rather than interleave on the virtual
+// clock.
 type Session struct {
+	mu    sync.Mutex
 	proto *phy.Protocol
 	msgr  *app.Messenger
 	clock float64
@@ -97,22 +106,37 @@ func Dial(self DeviceID) (*Session, error) {
 // SendResult is re-exported from the messaging layer.
 type SendResult = app.SendResult
 
+// SetTrace installs (or, with nil, removes) a per-stage observer on
+// the session's protocol exchanges. See the Trace interface.
+func (s *Session) SetTrace(t Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.proto.SetStageHook(stageHook(t))
+}
+
 // Send delivers one or two codebook messages to dst over the medium,
 // retrying on missing ACKs. The session keeps a virtual clock so
 // consecutive sends see an evolving channel.
+//
+// Errors wrap the public taxonomy (errors.Is): ErrBadMessage for IDs
+// outside the codebook, ErrNoACK when every attempt went
+// unacknowledged — the returned SendResult still reports what the
+// attempts achieved (Delivered can be true with only the ACK lost).
 func (s *Session) Send(med Medium, dst DeviceID, first, second uint8) (SendResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	res, err := s.msgr.Send(med, dst, first, second, s.clock)
-	if err != nil {
-		return res, err
-	}
-	// Advance the clock past the traffic (approximate airtime).
+	// Advance the clock past whatever made it onto the air, ACKed or
+	// not (approximate airtime).
 	s.clock += float64(res.Attempts) * (s.proto.PacketAirtimeS(res.Last.Band) + 0.25)
-	return res, nil
+	return res, err
 }
 
 // Exchange runs a single adaptive packet exchange without the
 // messaging layer (full per-stage result access).
 func (s *Session) Exchange(med Medium, pkt Packet) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	res, err := s.proto.Exchange(med, pkt, s.clock)
 	if err != nil {
 		return res, err

@@ -1,0 +1,49 @@
+package aquago
+
+import "aquago/internal/phy"
+
+// Stage identifies one step of the adaptive packet exchange; see the
+// Stage* constants. Stages fire in protocol order and a failed stage
+// suppresses the ones after it.
+type Stage = phy.Stage
+
+// The protocol stages, in exchange order.
+const (
+	StagePreamble = phy.StagePreamble
+	StageSNR      = phy.StageSNR
+	StageBand     = phy.StageBand
+	StageFeedback = phy.StageFeedback
+	StageData     = phy.StageData
+	StageACK      = phy.StageACK
+)
+
+// StageEvent is one per-stage observation: which stage, at what
+// virtual time, whether it succeeded, and the stage's diagnostics
+// (detection metric, per-subcarrier SNR, band, bit errors).
+type StageEvent = phy.StageEvent
+
+// Trace observes protocol stages as they execute. Both telemetry and
+// tests consume the same hook: install one on a Session (SetTrace), a
+// Node (WithNodeTrace) or a whole Network (WithNetworkTrace).
+//
+// Callbacks run synchronously inside the exchange — and, for Node
+// sends, while the network lock is held — so they must return quickly
+// and must not call back into the session, node or network.
+type Trace interface {
+	OnStage(StageEvent)
+}
+
+// TraceFunc adapts a plain function to the Trace interface.
+type TraceFunc func(StageEvent)
+
+// OnStage implements Trace.
+func (f TraceFunc) OnStage(ev StageEvent) { f(ev) }
+
+// stageHook converts a Trace into the internal callback form; a nil
+// trace yields a nil hook.
+func stageHook(t Trace) func(StageEvent) {
+	if t == nil {
+		return nil
+	}
+	return t.OnStage
+}
