@@ -25,7 +25,11 @@
 // Network.Join, Node.Send) scales that to N devices contending for
 // one shared body of water through the carrier-sense MAC, with
 // per-pair channels derived from node geometry; the two-endpoint
-// session is its 2-node special case.
+// session is its 2-node special case. Collisions either count against
+// envelope statistics (the default fast path) or corrupt the actual
+// received samples (WithContentionMode(WaveformContention)), and
+// non-interfering exchanges run in parallel on a conflict-graph
+// scheduler (WithNetworkWorkers).
 //
 // Failures across the surface wrap the typed taxonomy in errors.go
 // (ErrNoACK, ErrChannelBusy, ErrDecodeFailed, ...) for errors.Is, and

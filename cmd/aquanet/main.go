@@ -11,14 +11,44 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"aquago"
 
 	"aquago/internal/channel"
 )
+
+// maxSeed bounds -seed so per-run derived seeds (seed + run*7919)
+// cannot overflow, keeping output reproducible across platforms.
+const maxSeed = math.MaxInt64 / 2
+
+// validateFlags rejects flag combinations that would silently produce
+// garbage output: non-finite or negative carrier-sense ranges,
+// nonsensical node/packet/run counts (the network fits at most 59
+// transmitters beside the receiver), and seeds outside [0, maxSeed].
+func validateFlags(nTx, packets, runs int, seed int64, csRange float64) error {
+	switch {
+	case nTx < 1:
+		return errors.New("need at least one transmitter (-tx >= 1)")
+	case nTx > 59:
+		return fmt.Errorf("-tx %d exceeds the 59 transmitters a 60-device network can hold", nTx)
+	case packets < 1:
+		return fmt.Errorf("-packets %d: need at least one packet per transmitter", packets)
+	case runs < 1:
+		return fmt.Errorf("-runs %d: need at least one run", runs)
+	case math.IsNaN(csRange) || math.IsInf(csRange, 0):
+		return fmt.Errorf("-csrange %v is not a finite distance", csRange)
+	case csRange < 0:
+		return fmt.Errorf("-csrange %g: a carrier-sense range cannot be negative (use 0 for unlimited)", csRange)
+	case seed < 0 || seed > maxSeed:
+		return fmt.Errorf("-seed %d out of range [0, %d]", seed, int64(maxSeed))
+	}
+	return nil
+}
 
 func main() {
 	nTx := flag.Int("tx", 3, "number of transmitters")
@@ -36,8 +66,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aquanet: unknown environment %q\n", *envName)
 		os.Exit(1)
 	}
-	if *nTx < 1 {
-		fmt.Fprintln(os.Stderr, "aquanet: need at least one transmitter")
+	if err := validateFlags(*nTx, *packets, *runs, *seed, *csRange); err != nil {
+		fmt.Fprintln(os.Stderr, "aquanet:", err)
 		os.Exit(1)
 	}
 

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	type args struct {
+		nTx, packets, runs int
+		seed               int64
+		csRange            float64
+	}
+	good := args{nTx: 3, packets: 120, runs: 5, seed: 1, csRange: 0}
+	cases := []struct {
+		name    string
+		mutate  func(*args)
+		wantErr string
+	}{
+		{"defaults", func(*args) {}, ""},
+		{"max transmitters", func(a *args) { a.nTx = 59 }, ""},
+		{"finite csrange", func(a *args) { a.csRange = 12.5 }, ""},
+		{"zero transmitters", func(a *args) { a.nTx = 0 }, "at least one transmitter"},
+		{"negative transmitters", func(a *args) { a.nTx = -2 }, "at least one transmitter"},
+		{"too many transmitters", func(a *args) { a.nTx = 60 }, "59 transmitters"},
+		{"zero packets", func(a *args) { a.packets = 0 }, "at least one packet"},
+		{"zero runs", func(a *args) { a.runs = 0 }, "at least one run"},
+		{"NaN csrange", func(a *args) { a.csRange = math.NaN() }, "not a finite distance"},
+		{"infinite csrange", func(a *args) { a.csRange = math.Inf(1) }, "not a finite distance"},
+		{"negative csrange", func(a *args) { a.csRange = -5 }, "cannot be negative"},
+		{"negative seed", func(a *args) { a.seed = -1 }, "out of range"},
+		{"huge seed", func(a *args) { a.seed = math.MaxInt64 }, "out of range"},
+	}
+	for _, tc := range cases {
+		a := good
+		tc.mutate(&a)
+		err := validateFlags(a.nTx, a.packets, a.runs, a.seed, a.csRange)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: error expected, got nil", tc.name)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package aquago
 
 import (
 	"errors"
+	"fmt"
 
 	"aquago/internal/app"
 	"aquago/internal/phy"
@@ -46,3 +47,34 @@ var (
 	// ErrInvalidBand: band edges that do not fit the modem numerology.
 	ErrInvalidBand = phy.ErrInvalidBand
 )
+
+// ChannelBusyError is the concrete error behind ErrChannelBusy: the
+// carrier-sense MAC polled past the network's access deadline without
+// a grant. It carries the virtual time at which the search gave up —
+// the channel was heard (or backoff still pending) busy until then —
+// so callers can schedule a retry on the virtual timeline:
+//
+//	var busy *aquago.ChannelBusyError
+//	if errors.As(err, &busy) {
+//	    retryAtS := busy.BusyUntilS
+//	}
+//
+// errors.Is(err, ErrChannelBusy) matches it.
+type ChannelBusyError struct {
+	// BusyUntilS is the virtual time (seconds) the MAC stopped
+	// searching at; every poll up to it found the channel busy or the
+	// backoff still draining.
+	BusyUntilS float64
+	// DeadlineS is the access deadline that bounded the search
+	// (WithAccessDeadline).
+	DeadlineS float64
+}
+
+// Error implements error.
+func (e *ChannelBusyError) Error() string {
+	return fmt.Sprintf("%v: no access within %g virtual seconds (busy until %.2f s)",
+		ErrChannelBusy, e.DeadlineS, e.BusyUntilS)
+}
+
+// Unwrap makes errors.Is(err, ErrChannelBusy) match.
+func (e *ChannelBusyError) Unwrap() error { return ErrChannelBusy }

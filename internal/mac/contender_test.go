@@ -95,3 +95,21 @@ func TestContenderAgreesWithRunNetworkRules(t *testing.T) {
 		t.Fatalf("quiet medium after batch run: got (%g, %v)", start, ok)
 	}
 }
+
+// TestContenderGiveUpReportsBusyUntil pins the failure contract the
+// public ChannelBusyError rides on: when Acquire gives up, the
+// returned time is the first poll instant past readyS + maxWaitS —
+// the channel was busy (or backoff pending) until then.
+func TestContenderGiveUpReportsBusyUntil(t *testing.T) {
+	c := NewContender(Config{CarrierSense: true, PacketDurS: 0.6, Seed: 7})
+	until, ok := c.Acquire(func(float64) bool { return true }, 2.0, 0.6, 0.5)
+	if ok {
+		t.Fatal("granted access on a permanently busy channel")
+	}
+	if until <= 2.5 {
+		t.Fatalf("gave up at %g, want strictly past ready+deadline (2.5)", until)
+	}
+	if until > 2.5+2*SenseIntervalS {
+		t.Fatalf("gave up at %g, want within two sense intervals of the deadline", until)
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"aquago/internal/channel"
+	"aquago/internal/dsp"
+)
+
+// TestPruneBoundaryBusyAudibility pins Prune's drop boundary against
+// carrier sense: for any horizon, a pruned medium must answer BusyAt
+// exactly like an unpruned one for every poll at or after the horizon
+// — in particular, a transmission still audible somewhere (end time
+// plus worst-case propagation delay) must survive a prune at horizons
+// up to that boundary, and polls within maxFutureDurS of the horizon
+// must keep hearing it.
+func TestPruneBoundaryBusyAudibility(t *testing.T) {
+	tr := Transmission{From: 0, StartS: 1.0, DurS: 0.6}
+	const maxFuture = 0.6
+	build := func() *Medium {
+		m := New(channel.Bridge) // MaxRangeM 20 -> maxDelay ~13.3 ms
+		m.AddNode(Position{X: 0, Z: 1})
+		m.AddNode(Position{X: 15, Z: 1})
+		m.Transmit(tr)
+		return m
+	}
+	ref := build()
+	boundary := tr.EndS() + ref.maxDelayS()
+	horizons := []float64{
+		tr.StartS,        // transmission still on the air
+		tr.EndS(),        // just ended, still propagating
+		boundary - 0.01,  // audible at the horizon itself
+		boundary,         // exact drop boundary
+		boundary + 0.01,  // safely droppable
+		tr.StartS + 0.55, // inside the collision window of a future start
+	}
+	for _, h := range horizons {
+		pruned := build()
+		pruned.Prune(h, maxFuture)
+		for tS := h; tS <= h+maxFuture+1.0; tS += 0.01 {
+			want := ref.BusyAt(1, tS)
+			got := pruned.BusyAt(1, tS)
+			if want != got {
+				t.Fatalf("horizon %.4f, poll %.4f: pruned BusyAt=%v, unpruned=%v",
+					h, tS, got, want)
+			}
+		}
+	}
+}
+
+// TestPruneBoundaryCollisionAccounting pins the second prune clause: a
+// transmission must survive any horizon from which a future start
+// (>= horizon, duration <= maxFutureDurS) could still collide with it,
+// so CollisionStats after prune+future-traffic matches the unpruned
+// ledger.
+func TestPruneBoundaryCollisionAccounting(t *testing.T) {
+	tr := Transmission{From: 0, StartS: 1.0, DurS: 0.6}
+	const maxFuture = 0.6
+	build := func() *Medium {
+		m := New(channel.Bridge)
+		m.AddNode(Position{X: 0, Z: 1})
+		m.AddNode(Position{X: 15, Z: 1})
+		m.Transmit(tr)
+		return m
+	}
+	for _, h := range []float64{1.3, 1.55, 1.6, 1.61, 2.0} {
+		ref := build()
+		pruned := build()
+		pruned.Prune(h, maxFuture)
+		future := Transmission{From: 1, StartS: h, DurS: maxFuture, Seq: 1}
+		ref.Transmit(future)
+		pruned.Transmit(future)
+		refPer, refFrac := ref.CollisionStats()
+		gotPer, gotFrac := pruned.CollisionStats()
+		if refFrac != gotFrac {
+			t.Fatalf("horizon %.3f: collision fraction %v after prune, want %v", h, gotFrac, refFrac)
+		}
+		for node, want := range refPer {
+			if gotPer[node] != want {
+				t.Fatalf("horizon %.3f node %d: counts %v after prune, want %v",
+					h, node, gotPer[node], want)
+			}
+		}
+	}
+}
+
+// TestWaveBankInterferenceMatchesReceiveWindow checks that the bank's
+// unlimited-range mix is exactly the WaveMedium window minus noise.
+func TestWaveBankInterferenceMatchesReceiveWindow(t *testing.T) {
+	w := NewWaveMedium(channel.Bridge, 48000, 71)
+	a := w.AddNode(Position{X: 0, Z: 1})
+	b := w.AddNode(Position{X: 6, Z: 1})
+	rx := w.AddNode(Position{X: 3, Y: 2, Z: 1})
+	w.TransmitWave(a, 0.01, 0, dsp.Tone(2000, 0.1, 48000))
+	w.TransmitWave(b, 0.05, 0, dsp.Tone(3000, 0.1, 48000))
+
+	out := make([]float64, 48000/5)
+	if err := w.bank.Interference(out, rx, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	win, err := w.ReceiveWindow(rx, 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// win = interference + one noise dose with the same seed recipe
+	// (compare with a rounding allowance: the window sums in place).
+	noise := make([]float64, len(out))
+	w.bank.AmbientNoise(noise, rx, 0)
+	for i := range out {
+		if diff := math.Abs(win[i] - out[i] - noise[i]); diff > 1e-12 {
+			t.Fatalf("sample %d: window %g != interference %g + noise %g", i, win[i], out[i], noise[i])
+		}
+	}
+}
+
+// TestWaveBankRangeAndExclusion: waves from excluded nodes or beyond
+// the range bound must not leak into a mix.
+func TestWaveBankRangeAndExclusion(t *testing.T) {
+	med := New(channel.Bridge)
+	near := med.AddNode(Position{X: 0, Z: 1})
+	far := med.AddNode(Position{X: 500, Z: 1})
+	rx := med.AddNode(Position{X: 4, Z: 1})
+	bank := NewWaveBank(med, 48000, 9)
+	bank.Add(near, 0.01, 0, dsp.Tone(2000, 0.1, 48000))
+	bank.Add(far, 0.01, 0, dsp.Tone(2500, 0.1, 48000))
+
+	mix := func(rangeM float64, exclude ...int) float64 {
+		out := make([]float64, 48000/5)
+		if err := bank.Interference(out, rx, 0, rangeM, exclude...); err != nil {
+			t.Fatal(err)
+		}
+		return dsp.MaxAbs(out)
+	}
+	if m := mix(0); m == 0 {
+		t.Fatal("unlimited range heard nothing")
+	}
+	// A 10 m bound excludes the 500 m transmitter but keeps the near one.
+	if m := mix(10); m == 0 {
+		t.Fatal("range bound silenced an in-range transmitter")
+	}
+	if m := mix(10, near); m != 0 {
+		t.Fatalf("excluded near node still audible (peak %g)", m)
+	}
+	if m := mix(2); m != 0 {
+		t.Fatalf("2 m range still hears a 4 m transmitter (peak %g)", m)
+	}
+}
+
+// TestWaveBankPrune: waves drop only once inaudible everywhere.
+func TestWaveBankPrune(t *testing.T) {
+	med := New(channel.Bridge)
+	med.AddNode(Position{X: 0, Z: 1})
+	med.AddNode(Position{X: 10, Z: 1})
+	bank := NewWaveBank(med, 48000, 1)
+	bank.Add(0, 0, 0, dsp.Tone(2000, 0.5, 48000))
+	boundary := 0.5 + med.maxDelayS() + waveTailS
+	bank.Prune(boundary - 0.01)
+	if bank.NumWaves() != 1 {
+		t.Fatal("prune dropped a wave still inside the audibility tail")
+	}
+	bank.Prune(boundary + 0.01)
+	if bank.NumWaves() != 0 {
+		t.Fatal("prune kept a wave past its audibility tail")
+	}
+}
+
+// TestWaveBankInterferenceOrderIndependent: the mix must be
+// bit-identical regardless of the order waves were registered in
+// (concurrent out-of-range exchanges append in wall-clock order).
+func TestWaveBankInterferenceOrderIndependent(t *testing.T) {
+	mix := func(order [2]int) []float64 {
+		med := New(channel.Bridge)
+		med.AddNode(Position{X: 0, Z: 1})
+		med.AddNode(Position{X: 6, Z: 1})
+		rx := med.AddNode(Position{X: 3, Y: 2, Z: 1})
+		bank := NewWaveBank(med, 48000, 5)
+		waves := [2]struct {
+			from   int
+			startS float64
+			tone   float64
+		}{{0, 0.03, 2000}, {1, 0.01, 3000}}
+		for _, i := range order {
+			w := waves[i]
+			bank.Add(w.from, w.startS, 0, dsp.Tone(w.tone, 0.1, 48000))
+		}
+		out := make([]float64, 48000/5)
+		if err := bank.Interference(out, rx, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := mix([2]int{0, 1}), mix([2]int{1, 0})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs with registration order: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

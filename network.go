@@ -3,6 +3,7 @@ package aquago
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"aquago/internal/mac"
@@ -29,6 +30,28 @@ type ContentionConfig = mac.Config
 // simulated duration.
 type ContentionResult = mac.Result
 
+// ContentionMode selects how concurrent Node.Send exchanges interact
+// on the shared medium (WithContentionMode).
+type ContentionMode int
+
+const (
+	// EnvelopeContention is the default fast path: overlapping
+	// transmissions are *counted* as collisions by the envelope medium
+	// (carrier sense, CollisionStats — the paper's Fig 19 accounting)
+	// but each exchange still decodes over its own clean pair channel.
+	// Cheap, and byte-identical to the pre-scheduler behavior.
+	EnvelopeContention ContentionMode = iota
+	// WaveformContention routes every exchange through sample-level
+	// superposition (sim.WaveBank): each protocol stage's waveform is
+	// registered on the air, and every receive window is the sum of
+	// the direct signal and all audible concurrent transmissions,
+	// convolved through their pairwise channels. Overlaps corrupt the
+	// actual samples, so collisions surface as decode failures
+	// (ErrNoACK with Result showing the lost stage) instead of only
+	// counter increments. Several times costlier per exchange.
+	WaveformContention
+)
+
 // NetworkOption customizes NewNetwork.
 type NetworkOption func(*networkConfig)
 
@@ -40,6 +63,8 @@ type networkConfig struct {
 	accessDeadlineS float64
 	retries         int
 	trace           Trace
+	mode            ContentionMode
+	workers         int
 }
 
 // WithNetworkSeed fixes the random realization of every channel and
@@ -88,6 +113,23 @@ func WithNetworkTrace(t Trace) NetworkOption {
 	return func(c *networkConfig) { c.trace = t }
 }
 
+// WithContentionMode selects envelope (default) or waveform contention
+// — see the ContentionMode constants for the trade-off.
+func WithContentionMode(m ContentionMode) NetworkOption {
+	return func(c *networkConfig) { c.mode = m }
+}
+
+// WithNetworkWorkers bounds how many exchanges may execute
+// concurrently on the conflict-graph scheduler (default 0 = one per
+// CPU core; 1 serializes every exchange). Only exchanges whose node
+// pairs cannot interfere — disjoint nodes, all cross distances beyond
+// the carrier-sense range — ever run in parallel, so the knob trades
+// wall-clock speed for nothing: results are identical for any worker
+// count.
+func WithNetworkWorkers(workers int) NetworkOption {
+	return func(c *networkConfig) { c.workers = workers }
+}
+
 // Network is a shared body of simulated water that up to 60 devices
 // contend for (§2.4 of the paper). It owns:
 //
@@ -102,30 +144,49 @@ func WithNetworkTrace(t Trace) NetworkOption {
 // Session API is the 2-node special case of this surface (a Session
 // can run over Node.MediumTo's pair medium directly).
 //
-// All methods are safe for concurrent use; one network-wide lock
-// serializes virtual-time bookkeeping, so concurrency buys API
-// convenience (nodes sending from independent goroutines), not
-// parallel simulation throughput.
+// All methods are safe for concurrent use. Virtual-time bookkeeping
+// (MAC grants, envelope registration, frontiers) is serialized under
+// one lock, but the exchanges themselves run on a conflict-graph
+// scheduler (see sched.go): sends whose node pairs cannot interfere —
+// disjoint nodes, every cross distance beyond the carrier-sense range
+// — execute concurrently on a bounded worker pool, while interfering
+// sends are ordered deterministically by grant sequence.
 type Network struct {
 	env Environment
 	cfg networkConfig
 
 	mu    sync.Mutex
+	cond  *sync.Cond
 	med   *sim.Medium
 	links *sim.Links
+	// bank holds per-stage waveforms for sample-level superposition;
+	// nil in envelope mode.
+	bank  *sim.WaveBank
 	nodes map[DeviceID]*Node
 	order []*Node
-	// frontierS is the virtual commit frontier: one sense interval
-	// past the latest committed transmission start. Sends resolve
-	// under the lock in call order, which need not match virtual-time
-	// order; bumping every attempt's ready time to the frontier keeps
-	// the simulation causal — a send can never start in the
-	// already-simulated past, where carrier sense could not have heard
-	// transmissions that were committed after it.
-	frontierS float64
+	// frontier is the scoped virtual commit frontier, per node index:
+	// one sense interval past the latest committed transmission start
+	// the node could have heard. Sends resolve in grant order, which
+	// need not match virtual-time order; bumping an attempt's ready
+	// time to its node's frontier keeps the simulation causal — a send
+	// can never start in the already-simulated past, where carrier
+	// sense could not have heard transmissions committed after it.
+	// Nodes out of carrier-sense range keep independent timelines.
+	frontier []float64
 	// wcAirtimeS is the worst-case (narrowest-band) exchange airtime
 	// across joined nodes — Prune's bound on future durations.
 	wcAirtimeS float64
+
+	// Conflict-graph scheduler state (sched.go).
+	gateSeq uint64
+	tickets []*ticket
+	sem     chan struct{}
+	running int
+	stats   SchedulerStats
+
+	// traceMu serializes the shared network-wide trace across
+	// concurrently executing exchanges (see Trace).
+	traceMu sync.Mutex
 }
 
 // NewNetwork creates an empty network in the given environment.
@@ -139,15 +200,37 @@ func NewNetwork(env Environment, opts ...NetworkOption) (*Network, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.mode != EnvelopeContention && cfg.mode != WaveformContention {
+		return nil, fmt.Errorf("aquago: unknown contention mode %d", cfg.mode)
+	}
 	med := sim.New(env)
 	med.CSRangeM = cfg.csRangeM
-	return &Network{
+	sampleRate := modem.DefaultConfig().SampleRate
+	n := &Network{
 		env:   env,
 		cfg:   cfg,
 		med:   med,
-		links: sim.NewLinks(med, modem.DefaultConfig().SampleRate, cfg.seed, false),
+		links: sim.NewLinks(med, sampleRate, cfg.seed, false),
 		nodes: make(map[DeviceID]*Node),
-	}, nil
+		sem:   make(chan struct{}, schedWorkers(cfg.workers)),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	if cfg.mode == WaveformContention {
+		n.bank = sim.NewWaveBank(med, sampleRate, cfg.seed)
+	}
+	return n, nil
+}
+
+// schedWorkers resolves the worker knob: <= 0 means one slot per CPU
+// core, never fewer than one.
+func schedWorkers(w int) int {
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Environment returns the network's deployment site.
@@ -181,8 +264,22 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 	if _, ok := n.nodes[id]; ok {
 		return nil, fmt.Errorf("%w: %d", ErrDuplicateDevice, id)
 	}
-	idx := n.med.AddNode(pos)
-	n.links.SetEndpoint(idx, sim.Endpoint{Device: nc.device, Motion: nc.motion})
+	var idx int
+	addNode := func() {
+		idx = n.med.AddNode(pos)
+		n.links.SetEndpoint(idx, sim.Endpoint{Device: nc.device, Motion: nc.motion})
+		if n.bank != nil {
+			n.bank.SetEndpoint(idx, sim.Endpoint{Device: nc.device, Motion: nc.motion})
+		}
+	}
+	if n.bank != nil {
+		// Concurrent waveform mixes read medium geometry under the
+		// bank's lock; joins mutate it under both locks.
+		n.bank.Sync(addNode)
+	} else {
+		addNode()
+	}
+	n.frontier = append(n.frontier, 0)
 
 	nd := &Node{
 		net:   n,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -362,5 +363,271 @@ func TestSimulateContentionMatchesInternalMAC(t *testing.T) {
 	// Batch traffic must not pollute live collision accounting.
 	if per, _ := net.CollisionStats(); len(per) != 0 {
 		t.Fatalf("batch packets leaked into live accounting: %v", per)
+	}
+}
+
+// TestChannelBusyErrorCarriesBusyUntil: the deadline failure must
+// round-trip errors.Is(ErrChannelBusy) and expose the virtual time the
+// MAC gave up at through errors.As.
+func TestChannelBusyErrorCarriesBusyUntil(t *testing.T) {
+	net, err := aquago.NewNetwork(aquago.Bridge,
+		aquago.WithNetworkSeed(3), aquago.WithAccessDeadline(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Join(1, aquago.Position{X: 5, Z: 1}, aquago.WithNodeClock(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Join(2, aquago.Position{X: -4, Y: 3, Z: 1}, aquago.WithNodeClock(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	okMsg, _ := aquago.LookupMessage("OK?")
+	if _, err := a.Send(ctx, 0, okMsg.ID); err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Send(ctx, 0, okMsg.ID)
+	if !errors.Is(err, aquago.ErrChannelBusy) {
+		t.Fatalf("want ErrChannelBusy, got %v", err)
+	}
+	var busy *aquago.ChannelBusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("error %v does not carry *ChannelBusyError", err)
+	}
+	if busy.DeadlineS != 0.05 {
+		t.Fatalf("DeadlineS = %g, want 0.05", busy.DeadlineS)
+	}
+	// b became ready at 0.1 and searched past the 0.05 s deadline, so
+	// the channel was busy until strictly after 0.15 virtual seconds.
+	if busy.BusyUntilS <= 0.15 {
+		t.Fatalf("BusyUntilS = %g, want > 0.15", busy.BusyUntilS)
+	}
+}
+
+// waveformOutcome is one deterministic two-sender overlap run in
+// waveform contention mode (errors flattened for DeepEqual).
+type waveformOutcome struct {
+	ResA, ResB aquago.SendResult
+	ErrA, ErrB string
+	Fraction   float64
+}
+
+// runWaveformOverlap forces two senders onto the air at (virtually)
+// the same time with the MAC disabled, in the given contention mode,
+// and reports what each exchange decoded.
+func runWaveformOverlap(t *testing.T, seed int64, workers int, mode aquago.ContentionMode) waveformOutcome {
+	t.Helper()
+	net, err := aquago.NewNetwork(aquago.Bridge,
+		aquago.WithNetworkSeed(seed),
+		aquago.WithContentionMode(mode),
+		aquago.WithoutCarrierSense(),
+		aquago.WithNetworkRetries(0),
+		aquago.WithNetworkWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Join(1, aquago.Position{X: 5, Z: 1}, aquago.WithNodeClock(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Join(2, aquago.Position{X: -4, Y: 3, Z: 1}, aquago.WithNodeClock(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	okMsg, _ := aquago.LookupMessage("OK?")
+	ctx := context.Background()
+	var out waveformOutcome
+	var errA, errB error
+	// Sequential sends pin the grant order; the commit frontier still
+	// forces b onto the air one sense interval into a's packet.
+	out.ResA, errA = a.Send(ctx, 0, okMsg.ID)
+	out.ResB, errB = b.Send(ctx, 0, okMsg.ID)
+	if errA != nil {
+		out.ErrA = errA.Error()
+	}
+	if errB != nil {
+		out.ErrB = errB.Error()
+	}
+	_, out.Fraction = net.CollisionStats()
+	return out
+}
+
+// TestNetworkWaveformCollisionCorruptsDecode is the golden waveform
+// test: a forced two-sender overlap must corrupt the second exchange's
+// received samples — decode fails and the send reports ErrNoACK —
+// identically across seeds and worker counts, while the envelope fast
+// path (same scenario) only counts the collision and still delivers.
+func TestNetworkWaveformCollisionCorruptsDecode(t *testing.T) {
+	for _, seed := range []int64{1, 3, 5, 11} {
+		base := runWaveformOverlap(t, seed, 1, aquago.WaveformContention)
+		if !base.ResA.Delivered || base.ErrA != "" {
+			t.Fatalf("seed %d: first sender should land cleanly: %+v err=%q", seed, base.ResA, base.ErrA)
+		}
+		if base.ResB.Delivered || base.ResB.Acknowledged {
+			t.Fatalf("seed %d: overlapping send decoded despite sample-level collision: %+v", seed, base.ResB)
+		}
+		if base.ErrB == "" || !strings.Contains(base.ErrB, "no acknowledgment") {
+			t.Fatalf("seed %d: want ErrNoACK from the corrupted exchange, got %q", seed, base.ErrB)
+		}
+		if base.Fraction != 1 {
+			t.Fatalf("seed %d: envelope accounting missed the collision (fraction %g)", seed, base.Fraction)
+		}
+		// Same grant order, any worker count: byte-identical outcome.
+		for _, workers := range []int{2, 4} {
+			if got := runWaveformOverlap(t, seed, workers, aquago.WaveformContention); !reflect.DeepEqual(base, got) {
+				t.Fatalf("seed %d: workers %d diverged:\nwant %+v\ngot  %+v", seed, workers, base, got)
+			}
+		}
+		// The envelope fast path counts the same collision but decodes
+		// over clean pair channels — the documented difference.
+		env := runWaveformOverlap(t, seed, 1, aquago.EnvelopeContention)
+		if !env.ResB.Delivered || env.Fraction != 1 {
+			t.Fatalf("seed %d: envelope mode should deliver through a counted collision: %+v frac=%g",
+				seed, env.ResB, env.Fraction)
+		}
+	}
+}
+
+// TestNetworkWaveformCarrierSenseAvoidsCorruption: with the MAC on,
+// the second sender defers past the first packet, so waveform mode
+// decodes cleanly — collisions come from overlap, not from the mode.
+func TestNetworkWaveformCarrierSenseAvoidsCorruption(t *testing.T) {
+	net, _, a, b := buildTriangle(t, 3, aquago.WithContentionMode(aquago.WaveformContention))
+	results := concurrentSends(t, a, b)
+	for id, res := range results {
+		if !res.Delivered || !res.Acknowledged {
+			t.Fatalf("node %d: waveform-mode send failed on a sensed channel: %+v", id, res)
+		}
+	}
+	if _, frac := net.CollisionStats(); frac != 0 {
+		t.Fatalf("carrier sense failed to serialize the air (fraction %g)", frac)
+	}
+}
+
+// buildTwoIslands makes two 2-node pairs 1 km apart with a 30 m
+// carrier-sense range: exchanges across pairs cannot interfere, so the
+// conflict-graph scheduler may run them concurrently.
+func buildTwoIslands(t *testing.T, workers int) (*aquago.Network, [4]*aquago.Node) {
+	t.Helper()
+	net, err := aquago.NewNetwork(aquago.Bridge,
+		aquago.WithNetworkSeed(3),
+		aquago.WithCSRange(30),
+		aquago.WithNetworkWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes [4]*aquago.Node
+	for i, pos := range []aquago.Position{
+		{X: 0, Z: 1}, {X: 5, Z: 1}, {X: 1000, Z: 1}, {X: 1005, Z: 1},
+	} {
+		nd, err := net.Join(aquago.DeviceID(i), pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	return net, nodes
+}
+
+// TestNetworkSchedulerParallelism: non-interfering pair exchanges must
+// overlap in wall-clock (MaxConcurrent >= 2) and produce results
+// independent of the worker count.
+func TestNetworkSchedulerParallelism(t *testing.T) {
+	const sendsPerPair = 3
+	run := func(workers int) (map[aquago.DeviceID][]aquago.SendResult, aquago.SchedulerStats) {
+		net, nodes := buildTwoIslands(t, workers)
+		okMsg, _ := aquago.LookupMessage("OK?")
+		results := make(map[aquago.DeviceID][]aquago.SendResult)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for _, pair := range [][2]*aquago.Node{{nodes[1], nodes[0]}, {nodes[3], nodes[2]}} {
+			wg.Add(1)
+			go func(tx, rx *aquago.Node) {
+				defer wg.Done()
+				for i := 0; i < sendsPerPair; i++ {
+					res, err := tx.Send(context.Background(), rx.ID(), okMsg.ID)
+					if err != nil {
+						t.Errorf("node %d send %d: %v", tx.ID(), i, err)
+					}
+					mu.Lock()
+					results[tx.ID()] = append(results[tx.ID()], res)
+					mu.Unlock()
+				}
+			}(pair[0], pair[1])
+		}
+		wg.Wait()
+		return results, net.SchedulerStats()
+	}
+
+	parallel, stats := run(4)
+	if stats.MaxConcurrent < 2 {
+		t.Fatalf("non-interfering exchanges never overlapped: %+v", stats)
+	}
+	if stats.Granted != 2*sendsPerPair {
+		t.Fatalf("granted %d attempts, want %d", stats.Granted, 2*sendsPerPair)
+	}
+	serial, _ := run(1)
+	if !reflect.DeepEqual(parallel, serial) {
+		t.Fatalf("worker count changed results:\nworkers=4: %+v\nworkers=1: %+v", parallel, serial)
+	}
+}
+
+// TestNetworkScopedFrontierCountsCrossTimeCollisions: with a finite
+// carrier-sense range, an out-of-range pair keeps its own virtual
+// timeline — a lagging sender may legitimately transmit at a virtual
+// time another island has long simulated past, and the envelope ledger
+// (pinned by the minimum prune horizon, not the fastest island's
+// frontier) must still count the resulting transmitter-side collision.
+func TestNetworkScopedFrontierCountsCrossTimeCollisions(t *testing.T) {
+	net, err := aquago.NewNetwork(aquago.Bridge,
+		aquago.WithNetworkSeed(3),
+		aquago.WithCSRange(30),
+		aquago.WithoutCarrierSense(),
+		aquago.WithNetworkRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes [4]*aquago.Node
+	for i, pos := range []aquago.Position{
+		{X: 0, Z: 1}, {X: 5, Z: 1}, {X: 1000, Z: 1}, {X: 1005, Z: 1},
+	} {
+		nd, err := net.Join(aquago.DeviceID(i), pos, aquago.WithNodeClock(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	okMsg, _ := aquago.LookupMessage("OK?")
+	ctx := context.Background()
+	// The near island races ahead: three packets, virtual seconds of
+	// traffic, several prune opportunities.
+	for i := 0; i < 3; i++ {
+		if _, err := nodes[1].Send(ctx, 0, okMsg.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The far island's first packet starts at virtual 0 — out of
+	// carrier-sense range, its frontier was never bumped — overlapping
+	// the near island's first packet in virtual time.
+	if _, err := nodes[3].Send(ctx, 2, okMsg.ID); err != nil {
+		t.Fatal(err)
+	}
+	per, frac := net.CollisionStats()
+	if got := per[3]; got != [2]int{1, 1} {
+		t.Fatalf("far sender counts %v, want [1 1] (its packet overlaps the prune-resistant ledger)", got)
+	}
+	if got := per[1]; got[0] != 1 || got[1] != 3 {
+		t.Fatalf("near sender counts %v, want 1 of 3 collided", got)
+	}
+	if want := 2.0 / 4.0; frac != want {
+		t.Fatalf("collision fraction %g, want %g", frac, want)
 	}
 }

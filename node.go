@@ -3,6 +3,7 @@ package aquago
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"aquago/internal/app"
 	"aquago/internal/mac"
@@ -59,11 +60,12 @@ const interSendGapS = 0.25
 // adaptation, messenger), a carrier-sense contender, and a position
 // in the shared water. Obtain nodes from Network.Join.
 //
-// Send is safe to call from any goroutine; the network serializes
-// exchanges on its shared virtual timeline. Each node keeps its own
-// virtual clock, so one node's traffic delays another only through
-// the MAC (a busy channel extends the other's backoff), exactly as
-// contention works on the air.
+// Send is safe to call from any goroutine; the network's
+// conflict-graph scheduler orders interfering exchanges on the shared
+// virtual timeline and runs non-interfering ones in parallel. Each
+// node keeps its own virtual clock, so one node's traffic delays
+// another only through the MAC (a busy channel extends the other's
+// backoff), exactly as contention works on the air.
 type Node struct {
 	net   *Network
 	id    DeviceID
@@ -73,6 +75,10 @@ type Node struct {
 	msgr  *app.Messenger
 	cont  *mac.Contender
 	trace Trace
+
+	// sendMu serializes this node's Sends (one radio per device); the
+	// scheduler handles cross-node ordering.
+	sendMu sync.Mutex
 
 	// Guarded by net.mu.
 	clockS   float64
@@ -106,13 +112,18 @@ func (nd *Node) ClockS() float64 {
 }
 
 // onStage routes protocol stage events to the node's trace, falling
-// back to the network-wide trace.
+// back to the network-wide trace. The node trace is serialized by the
+// node's own send serialization; the shared network trace is
+// serialized explicitly, since exchanges on non-interfering pairs run
+// in parallel.
 func (nd *Node) onStage(ev phy.StageEvent) {
 	switch {
 	case nd.trace != nil:
 		nd.trace.OnStage(ev)
 	case nd.net.cfg.trace != nil:
+		nd.net.traceMu.Lock()
 		nd.net.cfg.trace.OnStage(ev)
+		nd.net.traceMu.Unlock()
 	}
 }
 
@@ -140,13 +151,17 @@ func (nd *Node) MediumTo(dst DeviceID) (Medium, error) {
 // adaptive protocol, gated per attempt by the carrier-sense MAC on
 // the network's shared virtual timeline. Each physical attempt is
 // registered with the envelope medium, so CollisionStats accounts for
-// it and other nodes' carrier sense hears it.
+// it and other nodes' carrier sense hears it; under
+// WaveformContention the attempt's stage waveforms additionally go on
+// the air sample-for-sample, corrupting (and corrupted by) whatever
+// overlaps them.
 //
 // Errors wrap the public taxonomy: ErrBadMessage (zero, >2 or unknown
 // messages), ErrUnknownDevice, ErrChannelBusy (no MAC grant within
-// the network's access deadline), ErrNoACK (all attempts went
-// unacknowledged; the returned SendResult still describes them), or
-// ctx's error when cancelled between attempts.
+// the network's access deadline; errors.As a *ChannelBusyError for
+// the busy-until time), ErrNoACK (all attempts went unacknowledged;
+// the returned SendResult still describes them), or ctx's error when
+// cancelled between attempts.
 func (nd *Node) Send(ctx context.Context, dst DeviceID, msgs ...uint8) (SendResult, error) {
 	if len(msgs) < 1 || len(msgs) > 2 {
 		return SendResult{}, fmt.Errorf("%w: send carries 1 or 2 messages, got %d", ErrBadMessage, len(msgs))
@@ -157,48 +172,59 @@ func (nd *Node) Send(ctx context.Context, dst DeviceID, msgs ...uint8) (SendResu
 		second = msgs[1]
 	}
 
+	// One radio per device: a node's own Sends are serial; the
+	// conflict-graph scheduler (sched.go) orders it against the rest
+	// of the network.
+	nd.sendMu.Lock()
+	defer nd.sendMu.Unlock()
+
 	n := nd.net
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	peer, ok := n.nodes[dst]
 	if !ok {
+		n.mu.Unlock()
 		return SendResult{}, fmt.Errorf("%w: %d", ErrUnknownDevice, dst)
 	}
 	if peer == nd {
+		n.mu.Unlock()
 		return SendResult{}, fmt.Errorf("%w: node %d cannot send to itself", ErrBadDeviceID, dst)
 	}
-	pair, err := n.links.Pair(nd.idx, peer.idx)
-	if err != nil {
-		return SendResult{}, err
+	var xmed phy.Medium
+	if n.bank != nil {
+		xmed = &waveSlot{net: n, a: nd.idx, b: peer.idx}
+	} else {
+		pair, err := n.links.Pair(nd.idx, peer.idx)
+		if err != nil {
+			n.mu.Unlock()
+			return SendResult{}, err
+		}
+		xmed = pair
 	}
+	clock := nd.clockS
+	n.mu.Unlock()
 
-	// The gate runs once per attempt: prune the envelope log behind
-	// the commit frontier, then carrier-sense until the MAC grants the
-	// channel. The attempt goes on the air afterwards (OnAttempt),
-	// with its actual duration — nothing else can run between the two
-	// because the whole Send holds the network lock.
+	// A cancelled context must wake this send if it is parked in the
+	// scheduler's conflict wait.
+	stopWake := context.AfterFunc(ctx, func() {
+		n.mu.Lock()
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer stopWake()
+
+	// The gate runs once per attempt: wait out conflicting earlier
+	// attempts, prune behind the minimum horizon, then carrier-sense
+	// until the MAC grants the channel. The attempt goes on the air
+	// after its exchange (OnAttempt) with its actual duration; the
+	// ticket keeps conflicting attempts from slotting in between.
+	var cur *ticket
 	var lastStartS, lastDurS float64
 	nd.msgr.Gate = func(readyS float64) (float64, error) {
-		if err := ctx.Err(); err != nil {
+		tk, start, err := n.beginAttempt(ctx, nd, peer.idx, readyS)
+		if err != nil {
 			return 0, err
 		}
-		// Never start behind the network's commit frontier (see the
-		// frontierS field): later-arriving sends are pulled forward to
-		// where they can hear everything already on the air.
-		if readyS < n.frontierS {
-			readyS = n.frontierS
-		}
-		n.med.Prune(n.frontierS, n.wcAirtimeS)
-		start, granted := nd.cont.Acquire(func(tS float64) bool {
-			return n.med.BusyAt(nd.idx, tS)
-		}, readyS, nd.airtimeS, n.cfg.accessDeadlineS)
-		if !granted {
-			return 0, fmt.Errorf("%w: no access within %.0f virtual seconds",
-				ErrChannelBusy, n.cfg.accessDeadlineS)
-		}
-		if f := start + mac.SenseIntervalS; f > n.frontierS {
-			n.frontierS = f
-		}
+		cur = tk
 		return start, nil
 	}
 	// After each exchange the band — and with it the true on-air
@@ -211,16 +237,25 @@ func (nd *Node) Send(ctx context.Context, dst DeviceID, msgs ...uint8) (SendResu
 		if res.FeedbackDecoded {
 			durS = nd.proto.PacketAirtimeS(res.FeedbackBand)
 		}
-		n.med.Transmit(nd.cont.Transmission(nd.idx, startS, durS, nd.seq))
-		nd.seq++
+		n.commitAttempt(nd, cur, startS, durS)
+		cur = nil
 		lastStartS, lastDurS = startS, durS
 	}
-	defer func() { nd.msgr.Gate, nd.msgr.OnAttempt = nil, nil }()
+	defer func() {
+		nd.msgr.Gate, nd.msgr.OnAttempt = nil, nil
+		if cur != nil {
+			// The exchange errored between grant and commit; release
+			// the ticket so conflicting attempts are not stranded.
+			n.abortAttempt(cur)
+		}
+	}()
 
-	res, err := nd.msgr.Send(pair, dst, first, second, nd.clockS)
+	res, err := nd.msgr.Send(xmed, dst, first, second, clock)
 	if res.Attempts > 0 && lastDurS > 0 {
 		// Advance past the last attempt's actual airtime.
+		n.mu.Lock()
 		nd.clockS = lastStartS + lastDurS + interSendGapS
+		n.mu.Unlock()
 	}
 	return res, err
 }

@@ -1,0 +1,273 @@
+package aquago
+
+import (
+	"context"
+	"math"
+
+	"aquago/internal/mac"
+)
+
+// This file is the network's conflict-graph exchange scheduler.
+//
+// PR 2 serialized every Node.Send under one network-wide lock: correct,
+// but one exchange at a time regardless of geometry, wasting the
+// multi-core experiment substrate. The scheduler replaces that critical
+// section with per-attempt *tickets* ordered by a monotonic grant
+// sequence. Two tickets conflict when their exchanges could interact —
+// they share a node, or (with a finite carrier-sense range) any
+// cross-pair distance is within that range, which bounds both carrier
+// sense and waveform audibility. A ticket runs its exchange only after
+// every conflicting earlier ticket has resolved (committed or aborted),
+// so:
+//
+//   - conflicting exchanges execute in deterministic grant order: the
+//     carrier sense each grant consults, and (in waveform mode) the
+//     interference each receive window hears, are exactly the committed
+//     traffic of its predecessors, independent of worker count;
+//   - non-conflicting exchanges hold no common state — disjoint link
+//     objects, mutually inaudible waves, untouched scoped frontiers —
+//     and run concurrently on the worker slots.
+//
+// Virtual-time causality, formerly one global commit frontier, is now
+// scoped per node: a grant at start s pushes the frontier of every node
+// that could have heard it (within carrier-sense range) to s + one
+// sense interval, so a later send on such a node can never start in the
+// already-simulated past — while an out-of-range node's timeline is
+// left alone, as real acoustics would. The envelope log is pruned at
+// the *minimum* horizon any node could still poll or transmit at
+// (lagging idle nodes and granted-but-uncommitted attempts pin it), so
+// a transmission is never dropped while some node could yet hear it
+// busy or collide with it.
+
+// ticket is one granted-or-pending transmission attempt in the
+// scheduler. All fields are guarded by Network.mu.
+type ticket struct {
+	seq     uint64
+	tx, rx  int
+	granted bool
+	startS  float64
+	done    bool
+}
+
+// SchedulerStats reports what the conflict-graph scheduler has done so
+// far — primarily how much exchange-level parallelism geometry allowed.
+type SchedulerStats struct {
+	// Granted counts MAC-granted transmission attempts.
+	Granted int
+	// MaxConcurrent is the peak number of exchanges that were running
+	// simultaneously on worker slots.
+	MaxConcurrent int
+	// Workers is the worker-slot budget the network resolved
+	// (WithNetworkWorkers; 0 resolves to one per CPU core).
+	Workers int
+}
+
+// SchedulerStats returns the scheduler counters.
+func (n *Network) SchedulerStats() SchedulerStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.stats
+	st.Workers = cap(n.sem)
+	return st
+}
+
+// interferes reports whether exchanges on pairs (a1, b1) and (a2, b2)
+// could interact: a shared node always conflicts; otherwise, with an
+// unlimited carrier-sense range every pair conflicts, and with a finite
+// range only pairs with some cross distance within it do. Callers hold
+// n.mu.
+func (n *Network) interferes(a1, b1, a2, b2 int) bool {
+	if a1 == a2 || a1 == b2 || b1 == a2 || b1 == b2 {
+		return true
+	}
+	r := n.cfg.csRangeM
+	if r <= 0 {
+		return true
+	}
+	p := func(i int) Position { return n.order[i].pos }
+	for _, x := range [2]int{a1, b1} {
+		for _, y := range [2]int{a2, b2} {
+			if p(x).DistanceTo(p(y)) <= r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// earlierConflictLocked reports whether any unresolved ticket with a
+// smaller sequence number conflicts with tk.
+func (n *Network) earlierConflictLocked(tk *ticket) bool {
+	for _, u := range n.tickets {
+		if u.seq < tk.seq && n.interferes(u.tx, u.rx, tk.tx, tk.rx) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveLocked removes tk from the unresolved set and wakes waiters.
+func (n *Network) resolveLocked(tk *ticket) {
+	tk.done = true
+	for i, u := range n.tickets {
+		if u == tk {
+			n.tickets = append(n.tickets[:i], n.tickets[i+1:]...)
+			break
+		}
+	}
+	n.cond.Broadcast()
+}
+
+// bumpFrontierLocked advances the scoped commit frontier of every node
+// that could have heard a transmission from node x: its next attempt
+// may not start before fS.
+func (n *Network) bumpFrontierLocked(x int, fS float64) {
+	r := n.cfg.csRangeM
+	for idx := range n.frontier {
+		if r > 0 && n.order[x].pos.DistanceTo(n.order[idx].pos) > r {
+			continue
+		}
+		if fS > n.frontier[idx] {
+			n.frontier[idx] = fS
+		}
+	}
+}
+
+// nodeBoundsLocked returns, per node index, the earliest virtual time
+// that node could still open a receive window, poll carrier sense, or
+// start a transmission at: max(own clock, scoped frontier), pinned by
+// granted-but-uncommitted attempts (both endpoints of an attempt open
+// windows from its start).
+func (n *Network) nodeBoundsLocked() []float64 {
+	bounds := make([]float64, len(n.order))
+	for i, nd := range n.order {
+		b := nd.clockS
+		if f := n.frontier[i]; f > b {
+			b = f
+		}
+		bounds[i] = b
+	}
+	for _, tk := range n.tickets {
+		if !tk.granted {
+			continue
+		}
+		if tk.startS < bounds[tk.tx] {
+			bounds[tk.tx] = tk.startS
+		}
+		if tk.startS < bounds[tk.rx] {
+			bounds[tk.rx] = tk.startS
+		}
+	}
+	return bounds
+}
+
+// pruneLocked folds the envelope ledger and drops stale wave-bank
+// samples at the global minimum bound. Both logs must use the global
+// minimum: collision accounting is range-independent (any node still
+// at a low virtual time may yet overlap old packets), and a wave's
+// audibility window is opened by *transmitters* — any lagging node may
+// address an in-range receiver of the wave, whose windows then sit in
+// that receiver's virtual past. A deliberately idle, out-of-range node
+// therefore pins both ledgers until it advances (sends, or hears an
+// in-range grant); that is the honest cost of scoped timelines, and it
+// clears the moment the laggard participates. Under the common
+// configurations — unlimited carrier-sense range, or islands whose
+// nodes all carry traffic — every bound advances and both logs stay
+// bounded.
+func (n *Network) pruneLocked() {
+	if len(n.order) == 0 {
+		return
+	}
+	horizon := math.Inf(1)
+	for _, b := range n.nodeBoundsLocked() {
+		if b < horizon {
+			horizon = b
+		}
+	}
+	if math.IsInf(horizon, 1) {
+		return
+	}
+	n.med.Prune(horizon, n.wcAirtimeS)
+	if n.bank != nil {
+		n.bank.Prune(horizon)
+	}
+}
+
+// beginAttempt is the per-attempt gate: it registers a ticket, waits
+// for conflicting earlier attempts to resolve, bumps the attempt past
+// the node's scoped frontier, prunes the logs, runs the carrier-sense
+// MAC, and — once granted — claims a worker slot. On success the
+// caller MUST later resolve the ticket through commitAttempt or
+// abortAttempt.
+func (n *Network) beginAttempt(ctx context.Context, nd *Node, peer int, readyS float64) (*ticket, float64, error) {
+	n.mu.Lock()
+	tk := &ticket{seq: n.gateSeq, tx: nd.idx, rx: peer}
+	n.gateSeq++
+	n.tickets = append(n.tickets, tk)
+	for ctx.Err() == nil && n.earlierConflictLocked(tk) {
+		n.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		n.resolveLocked(tk)
+		n.mu.Unlock()
+		return nil, 0, err
+	}
+	if f := n.frontier[nd.idx]; readyS < f {
+		readyS = f
+	}
+	n.pruneLocked()
+	start, granted := nd.cont.Acquire(func(tS float64) bool {
+		return n.med.BusyAt(nd.idx, tS)
+	}, readyS, nd.airtimeS, n.cfg.accessDeadlineS)
+	if !granted {
+		n.resolveLocked(tk)
+		n.mu.Unlock()
+		return nil, 0, &ChannelBusyError{BusyUntilS: start, DeadlineS: n.cfg.accessDeadlineS}
+	}
+	tk.granted, tk.startS = true, start
+	n.stats.Granted++
+	n.bumpFrontierLocked(nd.idx, start+mac.SenseIntervalS)
+	n.mu.Unlock()
+
+	// Claim a worker slot outside the lock so running exchanges can
+	// commit (and conflicting gates can wait) meanwhile. A cancelled
+	// context abandons the granted attempt before it goes on the air.
+	select {
+	case n.sem <- struct{}{}:
+	case <-ctx.Done():
+		n.mu.Lock()
+		n.resolveLocked(tk)
+		n.mu.Unlock()
+		return nil, 0, ctx.Err()
+	}
+	n.mu.Lock()
+	n.running++
+	if n.running > n.stats.MaxConcurrent {
+		n.stats.MaxConcurrent = n.running
+	}
+	n.mu.Unlock()
+	return tk, start, nil
+}
+
+// commitAttempt registers a finished attempt with the envelope medium
+// (actual on-air duration, the node's sensing model) and resolves its
+// ticket, releasing the worker slot.
+func (n *Network) commitAttempt(nd *Node, tk *ticket, startS, durS float64) {
+	n.mu.Lock()
+	n.med.Transmit(nd.cont.Transmission(nd.idx, startS, durS, nd.seq))
+	nd.seq++
+	n.running--
+	n.resolveLocked(tk)
+	n.mu.Unlock()
+	<-n.sem
+}
+
+// abortAttempt resolves a granted ticket whose exchange never
+// completed (protocol error mid-exchange), releasing the worker slot.
+func (n *Network) abortAttempt(tk *ticket) {
+	n.mu.Lock()
+	n.running--
+	n.resolveLocked(tk)
+	n.mu.Unlock()
+	<-n.sem
+}

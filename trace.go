@@ -26,9 +26,14 @@ type StageEvent = phy.StageEvent
 // tests consume the same hook: install one on a Session (SetTrace), a
 // Node (WithNodeTrace) or a whole Network (WithNetworkTrace).
 //
-// Callbacks run synchronously inside the exchange — and, for Node
-// sends, while the network lock is held — so they must return quickly
-// and must not call back into the session, node or network.
+// Callbacks run synchronously inside the exchange, so they must
+// return quickly and must not call back into the session, node or
+// network. A network-wide trace is additionally serialized by the
+// network (exchanges on non-interfering pairs execute in parallel,
+// but OnStage never runs concurrently with itself). A per-node trace
+// is serialized per node; sharing one Trace value across several
+// WithNodeTrace nodes requires its OnStage to be safe for concurrent
+// use.
 type Trace interface {
 	OnStage(StageEvent)
 }
