@@ -1,4 +1,8 @@
-package aquago
+// An external test package (aquago_test, not aquago): it imports
+// internal/exp, which since the macload harness drives the public
+// Network API and therefore imports aquago — an in-package test file
+// would close an import cycle.
+package aquago_test
 
 import (
 	"testing"
@@ -95,3 +99,11 @@ func BenchmarkTabPreambleDetection(b *testing.B) { benchExperiment(b, "tab-pream
 
 // BenchmarkTabRuntime regenerates the §3 runtime table.
 func BenchmarkTabRuntime(b *testing.B) { benchExperiment(b, "tab-runtime") }
+
+// BenchmarkMacLoadGoodput regenerates the beyond-paper MAC
+// goodput-vs-offered-load sweep on the live Network.
+func BenchmarkMacLoadGoodput(b *testing.B) { benchExperiment(b, "macload") }
+
+// BenchmarkMacCaptureSIR regenerates the beyond-paper capture-effect
+// SIR survival study.
+func BenchmarkMacCaptureSIR(b *testing.B) { benchExperiment(b, "macsir") }

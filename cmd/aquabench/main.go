@@ -1,24 +1,34 @@
 // Command aquabench regenerates the paper's evaluation artifacts:
 // every figure and table of §3 has a harness in internal/exp, and
 // this tool runs them and prints the same series the paper plots.
+// Beyond the paper, -macload runs the MAC goodput-vs-offered-load
+// sweep and the capture-effect SIR study on the live Network.
 //
 // Usage:
 //
 //	aquabench -list
 //	aquabench -exp fig09,fig12 [-packets 100] [-seed 1] [-workers 0]
-//	aquabench -all [-quick] [-json] [-out BENCH_exp.json]
+//	aquabench -macload [-quick] [-json]
+//	aquabench -all [-quick] [-json] [-out BENCH_exp.json] [-diff BENCH_exp.json]
 //
 // -workers sizes the parallel experiment engine (0 = one worker per
 // CPU core, 1 = serial); results are identical for any value. -json
 // additionally writes a machine-readable benchmark file with the
 // wall time and series of every experiment, the start of the repo's
-// performance trajectory across PRs.
+// performance trajectory across PRs. When the output file already
+// exists, experiments not re-run this invocation are carried over, so
+// `-macload -json` merges its block into a full BENCH_exp.json
+// instead of truncating it. -diff compares every goodput series
+// against a reference bench file and exits non-zero on a > 15 %
+// regression (the CI bench job's gate).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -26,6 +36,14 @@ import (
 
 	"aquago/internal/exp"
 )
+
+// maxSeed mirrors cmd/aquanet's bound: derived per-point seeds must
+// not overflow.
+const maxSeed = math.MaxInt64 / 2
+
+// goodputRegressionTolerance is how far a goodput point may fall below
+// the -diff reference before the run fails.
+const goodputRegressionTolerance = 0.15
 
 // benchExperiment is one experiment's entry in the -json output.
 type benchExperiment struct {
@@ -48,16 +66,181 @@ type benchFile struct {
 	Experiments []benchExperiment `json:"experiments"`
 }
 
+// macloadIDs are the experiments the -macload shorthand selects.
+var macloadIDs = []string{"macload", "macsir"}
+
+// selectExperiments resolves the selection flags into experiment IDs,
+// de-duplicated in run order.
+func selectExperiments(all, macload bool, ids string) ([]string, error) {
+	var selected []string
+	switch {
+	case all:
+		selected = exp.IDs()
+	case ids != "":
+		for _, id := range strings.Split(ids, ",") {
+			selected = append(selected, strings.TrimSpace(id))
+		}
+	}
+	if macload {
+		selected = append(selected, macloadIDs...)
+	}
+	if len(selected) == 0 {
+		return nil, errors.New("pass -all, -exp id[,id...], -macload or -list")
+	}
+	seen := make(map[string]bool, len(selected))
+	out := selected[:0]
+	for _, id := range selected {
+		if id == "" {
+			return nil, errors.New("-exp contains an empty experiment ID")
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// validateBenchFlags rejects flag values the harnesses would quietly
+// misread (negative packet budgets fall back to defaults, negative
+// seeds break derived-seed reproducibility).
+func validateBenchFlags(packets int, seed int64, workers int) error {
+	switch {
+	case packets < 0:
+		return fmt.Errorf("-packets %d: use 0 for the default budget", packets)
+	case workers < 0:
+		return fmt.Errorf("-workers %d: use 0 for one per core", workers)
+	case seed < 0 || seed > maxSeed:
+		return fmt.Errorf("-seed %d out of range [0, %d]", seed, int64(maxSeed))
+	}
+	return nil
+}
+
+// readBenchFile loads a previous -json output.
+func readBenchFile(path string) (benchFile, error) {
+	var bf benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	return bf, nil
+}
+
+// mergeBench carries prev's experiments into cur: entries re-run this
+// invocation keep their fresh results (in prev's position), entries
+// not re-run survive untouched, and brand-new IDs append in run order.
+// The header always describes the current invocation.
+func mergeBench(prev, cur benchFile) benchFile {
+	fresh := make(map[string]benchExperiment, len(cur.Experiments))
+	for _, e := range cur.Experiments {
+		fresh[e.ID] = e
+	}
+	merged := make([]benchExperiment, 0, len(prev.Experiments)+len(cur.Experiments))
+	seen := make(map[string]bool, len(prev.Experiments))
+	for _, e := range prev.Experiments {
+		seen[e.ID] = true
+		if f, ok := fresh[e.ID]; ok {
+			e = f
+		}
+		merged = append(merged, e)
+	}
+	for _, e := range cur.Experiments {
+		if !seen[e.ID] {
+			merged = append(merged, e)
+		}
+	}
+	cur.Experiments = merged
+	return cur
+}
+
+// diffGoodput compares every goodput series of cur against ref and
+// reports the points that regressed by more than tol (relative).
+// Points are matched by series name AND X value (the offered load), so
+// a baseline generated at a different sweep scale gates only the load
+// points both runs measured instead of comparing unrelated loads by
+// index. A series or experiment absent from ref is skipped — new
+// coverage is not a regression — but an experiment cur re-ran must
+// still carry *some* goodput series wherever ref had one, so the gate
+// cannot be dodged by dropping the block (experiments not selected
+// this invocation are exempt: a partial run only gates what it
+// measured).
+func diffGoodput(ref, cur benchFile, tol float64) error {
+	type refSeries struct {
+		expID  string
+		byX    map[float64]float64
+		series exp.Series
+	}
+	refs := make(map[string]refSeries)
+	goodputExps := make(map[string]bool)
+	for _, e := range ref.Experiments {
+		for _, s := range e.Report.Series {
+			if !strings.Contains(s.Name, "goodput") {
+				continue
+			}
+			byX := make(map[float64]float64, len(s.X))
+			for i := range s.X {
+				byX[s.X[i]] = s.Y[i]
+			}
+			refs[e.ID+"/"+s.Name] = refSeries{expID: e.ID, byX: byX, series: s}
+			goodputExps[e.ID] = true
+		}
+	}
+	if len(refs) == 0 {
+		return nil // reference predates the goodput block
+	}
+	var problems []string
+	curGoodputExps := make(map[string]bool)
+	for _, e := range cur.Experiments {
+		for _, s := range e.Report.Series {
+			if !strings.Contains(s.Name, "goodput") {
+				continue
+			}
+			curGoodputExps[e.ID] = true
+			rs, ok := refs[e.ID+"/"+s.Name]
+			if !ok {
+				continue
+			}
+			for i := range s.X {
+				refY, ok := rs.byX[s.X[i]]
+				if !ok {
+					continue // load point not in the reference grid
+				}
+				if s.Y[i] < refY*(1-tol) {
+					problems = append(problems, fmt.Sprintf(
+						"%s/%s at x=%.4g: %.4g -> %.4g (-%.0f%%)",
+						e.ID, s.Name, s.X[i], refY, s.Y[i], 100*(1-s.Y[i]/refY)))
+				}
+			}
+		}
+	}
+	for _, e := range cur.Experiments {
+		if goodputExps[e.ID] && !curGoodputExps[e.ID] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: reference has goodput series but this run produced none", e.ID))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("goodput regressed beyond %.0f%% vs reference:\n  %s",
+			100*tol, strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	all := flag.Bool("all", false, "run every experiment")
 	ids := flag.String("exp", "", "comma-separated experiment IDs")
+	macload := flag.Bool("macload", false, "run the MAC goodput sweep and capture-effect SIR study (macload, macsir)")
 	packets := flag.Int("packets", 0, "packets per measurement point (0 = default 100)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "write per-experiment timings and series as JSON")
 	outPath := flag.String("out", "BENCH_exp.json", "output path for -json")
+	diffPath := flag.String("diff", "", "reference bench file; exit non-zero if any goodput series regresses > 15%")
 	flag.Parse()
 
 	if *list {
@@ -66,15 +249,32 @@ func main() {
 		}
 		return
 	}
-	var selected []string
-	switch {
-	case *all:
-		selected = exp.IDs()
-	case *ids != "":
-		selected = strings.Split(*ids, ",")
-	default:
-		fmt.Fprintln(os.Stderr, "aquabench: pass -all, -exp id[,id...] or -list")
+	if err := validateBenchFlags(*packets, *seed, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(2)
+	}
+	selected, err := selectExperiments(*all, *macload, *ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aquabench:", err)
+		os.Exit(2)
+	}
+	// Read the regression reference and any previous output up front:
+	// -diff and -out may name the same file, and merge must see the
+	// pre-run state.
+	var refBench *benchFile
+	if *diffPath != "" {
+		bf, err := readBenchFile(*diffPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aquabench: -diff %s: %v\n", *diffPath, err)
+			os.Exit(2)
+		}
+		refBench = &bf
+	}
+	var prevBench *benchFile
+	if *jsonOut {
+		if bf, err := readBenchFile(*outPath); err == nil {
+			prevBench = &bf
+		}
 	}
 
 	cfg := exp.RunConfig{Packets: *packets, Seed: *seed, Quick: *quick, Workers: *workers}
@@ -90,7 +290,6 @@ func main() {
 	failed := false
 	totalStart := time.Now()
 	for _, id := range selected {
-		id = strings.TrimSpace(id)
 		start := time.Now()
 		rep, err := exp.Run(id, cfg)
 		wallMS := float64(time.Since(start).Microseconds()) / 1000
@@ -108,7 +307,11 @@ func main() {
 	bench.TotalMS = float64(time.Since(totalStart).Microseconds()) / 1000
 
 	if *jsonOut {
-		data, err := json.MarshalIndent(bench, "", "  ")
+		outBench := bench
+		if prevBench != nil {
+			outBench = mergeBench(*prevBench, bench)
+		}
+		data, err := json.MarshalIndent(outBench, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aquabench: marshal: %v\n", err)
 			os.Exit(1)
@@ -119,7 +322,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d experiments, total %.0f ms)\n",
-			*outPath, len(bench.Experiments), bench.TotalMS)
+			*outPath, len(outBench.Experiments), bench.TotalMS)
+	}
+	if refBench != nil {
+		if err := diffGoodput(*refBench, bench, goodputRegressionTolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "aquabench:", err)
+			failed = true
+		} else {
+			fmt.Printf("goodput within %.0f%% of %s\n", 100*goodputRegressionTolerance, *diffPath)
+		}
 	}
 	if failed {
 		os.Exit(1)

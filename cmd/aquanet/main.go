@@ -1,13 +1,20 @@
 // Command aquanet simulates an underwater network of AquaApp devices
-// contending for the acoustic channel, reproducing the paper's MAC
-// evaluation (Fig 19): collision fractions with and without carrier
-// sense for configurable transmitter counts. It runs entirely on the
-// public Network API.
+// contending for the acoustic channel. Its default mode reproduces the
+// paper's MAC evaluation (Fig 19): collision fractions with and
+// without carrier sense for configurable transmitter counts. The -load
+// mode goes beyond the paper: it drives a live Network with Poisson
+// offered load per node and reports delivered goodput, latency
+// percentiles, collision fraction and scheduler counters for one
+// offered-load point (the sweep lives in `aquabench -macload`). Both
+// run entirely on the public Network API.
 //
 // Usage:
 //
 //	aquanet [-tx 3] [-packets 120] [-runs 5] [-seed 1] [-env bridge]
 //	        [-csrange 0] [-preamble-aware]
+//	aquanet -load [-nodes 8] [-rate 0.05] [-duration 120]
+//	        [-mode envelope|waveform] [-no-cs] [-workers 0]
+//	        [-seed 1] [-env bridge] [-csrange 0] [-preamble-aware]
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"aquago"
 
 	"aquago/internal/channel"
+	"aquago/internal/exp"
 )
 
 // maxSeed bounds -seed so per-run derived seeds (seed + run*7919)
@@ -40,6 +48,13 @@ func validateFlags(nTx, packets, runs int, seed int64, csRange float64) error {
 		return fmt.Errorf("-packets %d: need at least one packet per transmitter", packets)
 	case runs < 1:
 		return fmt.Errorf("-runs %d: need at least one run", runs)
+	}
+	return validateCommonFlags(seed, csRange)
+}
+
+// validateCommonFlags covers the flags both modes share.
+func validateCommonFlags(seed int64, csRange float64) error {
+	switch {
 	case math.IsNaN(csRange) || math.IsInf(csRange, 0):
 		return fmt.Errorf("-csrange %v is not a finite distance", csRange)
 	case csRange < 0:
@@ -50,15 +65,70 @@ func validateFlags(nTx, packets, runs int, seed int64, csRange float64) error {
 	return nil
 }
 
+// parseMode maps the -mode flag onto a contention mode.
+func parseMode(mode string) (aquago.ContentionMode, error) {
+	switch mode {
+	case "envelope":
+		return aquago.EnvelopeContention, nil
+	case "waveform":
+		return aquago.WaveformContention, nil
+	default:
+		return 0, fmt.Errorf("-mode %q: pick envelope or waveform", mode)
+	}
+}
+
+// buildLoadPoint turns -load flags into a validated measurement point.
+// Node-count, rate and duration abuse (over 60 nodes, negative or NaN
+// rates, bad durations) is rejected by the point's own Validate, so
+// the CLI and the harness cannot drift apart on what is runnable.
+func buildLoadPoint(nodes int, rate, duration float64, mode string, noCS, preambleAware bool,
+	workers int, seed int64, csRange float64, env aquago.Environment) (exp.MacLoadPoint, error) {
+	if err := validateCommonFlags(seed, csRange); err != nil {
+		return exp.MacLoadPoint{}, err
+	}
+	m, err := parseMode(mode)
+	if err != nil {
+		return exp.MacLoadPoint{}, err
+	}
+	if workers < 0 {
+		return exp.MacLoadPoint{}, fmt.Errorf("-workers %d: use 0 for one per core", workers)
+	}
+	p := exp.MacLoadPoint{
+		Pods:          1,
+		PodSize:       nodes,
+		RateHz:        rate,
+		DurationS:     duration,
+		Mode:          m,
+		CarrierSense:  !noCS,
+		PreambleAware: preambleAware,
+		CSRangeM:      csRange,
+		Seed:          seed,
+		Retries:       -1,
+		Workers:       workers,
+		Env:           env,
+	}
+	if err := p.Validate(); err != nil {
+		return exp.MacLoadPoint{}, err
+	}
+	return p, nil
+}
+
 func main() {
-	nTx := flag.Int("tx", 3, "number of transmitters")
-	packets := flag.Int("packets", 120, "packets per transmitter")
-	runs := flag.Int("runs", 5, "independent runs to average")
+	nTx := flag.Int("tx", 3, "number of transmitters (Fig 19 mode)")
+	packets := flag.Int("packets", 120, "packets per transmitter (Fig 19 mode)")
+	runs := flag.Int("runs", 5, "independent runs to average (Fig 19 mode)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	envName := flag.String("env", "bridge", "environment (bridge/park/lake/beach/museum/bay)")
 	csRange := flag.Float64("csrange", 0, "carrier-sense audibility range in meters (0 = unlimited)")
 	preambleAware := flag.Bool("preamble-aware", false,
 		"carrier sense also detects preambles (hears through the silent feedback window, §2.4)")
+	load := flag.Bool("load", false, "offered-load mode: drive a live Network with Poisson traffic")
+	nodes := flag.Int("nodes", 8, "node count, all offering traffic (-load)")
+	rate := flag.Float64("rate", 0.05, "Poisson message rate per node, msg/s (-load)")
+	duration := flag.Float64("duration", 120, "arrival window in virtual seconds (-load)")
+	mode := flag.String("mode", "envelope", "contention mode: envelope or waveform (-load)")
+	noCS := flag.Bool("no-cs", false, "disable carrier sense (-load; Fig 19 mode always runs both)")
+	workers := flag.Int("workers", 0, "network scheduler worker slots, 0 = one per core (-load)")
 	flag.Parse()
 
 	env, ok := channel.ByName(*envName)
@@ -66,22 +136,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aquanet: unknown environment %q\n", *envName)
 		os.Exit(1)
 	}
-	if err := validateFlags(*nTx, *packets, *runs, *seed, *csRange); err != nil {
-		fmt.Fprintln(os.Stderr, "aquanet:", err)
-		os.Exit(1)
+	if *load {
+		pt, err := buildLoadPoint(*nodes, *rate, *duration, *mode, *noCS, *preambleAware,
+			*workers, *seed, *csRange, env)
+		if err != nil {
+			fatal(err)
+		}
+		runLoad(pt, env.Name)
+		return
 	}
+	if err := validateFlags(*nTx, *packets, *runs, *seed, *csRange); err != nil {
+		fatal(err)
+	}
+	runFig19(*nTx, *packets, *runs, *seed, *csRange, *preambleAware, env)
+}
 
+// runLoad measures one offered-load point and prints the same numbers
+// the macload harness tabulates.
+func runLoad(pt exp.MacLoadPoint, envName string) {
+	modeName := "envelope"
+	if pt.Mode == aquago.WaveformContention {
+		modeName = "waveform"
+	}
+	sensing := "carrier sense"
+	switch {
+	case !pt.CarrierSense:
+		sensing = "no carrier sense"
+	case pt.PreambleAware:
+		sensing = "preamble-aware carrier sense"
+	}
+	fmt.Printf("Offered-load simulation: %d nodes, %.3g msg/s/node over %.4g s, %s, %s mode, %s\n",
+		pt.PodSize, pt.RateHz, pt.DurationS, envName, modeName, sensing)
+	res, err := exp.RunMacLoadPoint(pt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("offered     %6d msgs %10.2f bps\n", res.OfferedMsgs, res.OfferedBPS)
+	fmt.Printf("goodput     %6d msgs %10.2f bps  (makespan %.1f s)\n",
+		res.DeliveredMsgs, res.GoodputBPS, res.MakespanS)
+	fmt.Printf("latency     p50 %.2f s   p90 %.2f s   p99 %.2f s\n",
+		res.LatencyP50S, res.LatencyP90S, res.LatencyP99S)
+	fmt.Printf("losses      %d busy-drops, %d unacked, collisions %.1f%%\n",
+		res.BusyDrops, res.NoACKs, 100*res.CollisionFraction)
+	util := 0.0
+	if res.MakespanS > 0 {
+		util = res.Sched.AirtimeS / res.MakespanS
+	}
+	fmt.Printf("scheduler   %d granted, %d committed, airtime %.1f s (util %.0f%%), peak concurrency %d on %d workers, conflict width %d\n",
+		res.Sched.Granted, res.Sched.Committed, res.Sched.AirtimeS, 100*util,
+		res.Sched.MaxConcurrent, res.Sched.Workers, res.ConflictWidth)
+}
+
+// runFig19 is the original batch contention mode.
+func runFig19(nTx, packets, runs int, seed int64, csRange float64, preambleAware bool, env aquago.Environment) {
 	// One network per run: a receiver at the origin plus nTx
 	// transmitters 5-10 m out (Fig 19's deployment).
 	build := func() (*aquago.Network, []*aquago.Node) {
-		net, err := aquago.NewNetwork(env, aquago.WithCSRange(*csRange))
+		net, err := aquago.NewNetwork(env, aquago.WithCSRange(csRange))
 		if err != nil {
 			fatal(err)
 		}
 		if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
 			fatal(err)
 		}
-		tx := make([]*aquago.Node, *nTx)
+		tx := make([]*aquago.Node, nTx)
 		for i := range tx {
 			nd, err := net.Join(aquago.DeviceID(i+1),
 				aquago.Position{X: 5 + 2.5*float64(i), Y: float64(i), Z: 1})
@@ -94,19 +212,19 @@ func main() {
 	}
 
 	fmt.Printf("MAC simulation: %d transmitters + 1 receiver, %d packets each, %s\n",
-		*nTx, *packets, env.Name)
+		nTx, packets, env.Name)
 	fmt.Printf("%-16s %12s %12s %10s\n", "mode", "collisions", "packets", "fraction")
 
 	for _, cs := range []bool{false, true} {
 		var fracSum float64
 		var collided, total int
-		for r := 0; r < *runs; r++ {
+		for r := 0; r < runs; r++ {
 			net, tx := build()
 			res := net.SimulateContention(tx, aquago.ContentionConfig{
 				CarrierSense:  cs,
-				PacketsPerTx:  *packets,
-				PreambleAware: *preambleAware,
-				Seed:          *seed + int64(r)*7919,
+				PacketsPerTx:  packets,
+				PreambleAware: preambleAware,
+				Seed:          seed + int64(r)*7919,
 			})
 			fracSum += res.CollisionFraction
 			for _, c := range res.PerNode {
@@ -118,7 +236,7 @@ func main() {
 		if cs {
 			mode = "carrier sense"
 		}
-		fmt.Printf("%-16s %12d %12d %9.1f%%\n", mode, collided, total, 100*fracSum/float64(*runs))
+		fmt.Printf("%-16s %12d %12d %9.1f%%\n", mode, collided, total, 100*fracSum/float64(runs))
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"aquago"
 )
 
 func TestValidateFlags(t *testing.T) {
@@ -43,6 +45,67 @@ func TestValidateFlags(t *testing.T) {
 			t.Errorf("%s: error expected, got nil", tc.name)
 		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestBuildLoadPoint covers the -load flag error paths: nonsense
+// rates, node counts, durations, modes and worker budgets must be
+// rejected with a message naming the offending flag or limit, and a
+// good flag set must map onto the harness point verbatim.
+func TestBuildLoadPoint(t *testing.T) {
+	type args struct {
+		nodes         int
+		rate, dur     float64
+		mode          string
+		noCS          bool
+		preambleAware bool
+		workers       int
+		seed          int64
+		csRange       float64
+	}
+	good := args{nodes: 8, rate: 0.05, dur: 120, mode: "envelope", seed: 1}
+	cases := []struct {
+		name    string
+		mutate  func(*args)
+		wantErr string
+	}{
+		{"defaults", func(*args) {}, ""},
+		{"waveform mode", func(a *args) { a.mode = "waveform" }, ""},
+		{"max nodes", func(a *args) { a.nodes = 60 }, ""},
+		{"no carrier sense", func(a *args) { a.noCS = true }, ""},
+		{"one node", func(a *args) { a.nodes = 1 }, "at least 2 nodes"},
+		{"over 60 nodes", func(a *args) { a.nodes = 61 }, "60-device network limit"},
+		{"negative rate", func(a *args) { a.rate = -0.1 }, "must be positive"},
+		{"NaN rate", func(a *args) { a.rate = math.NaN() }, "not a finite number"},
+		{"infinite rate", func(a *args) { a.rate = math.Inf(1) }, "not a finite number"},
+		{"zero duration", func(a *args) { a.dur = 0 }, "must be positive"},
+		{"negative duration", func(a *args) { a.dur = -5 }, "must be positive"},
+		{"NaN duration", func(a *args) { a.dur = math.NaN() }, "not a finite time"},
+		{"runaway schedule", func(a *args) { a.rate = 500; a.dur = 1e6 }, "cap"},
+		{"bad mode", func(a *args) { a.mode = "acoustic" }, "pick envelope or waveform"},
+		{"negative workers", func(a *args) { a.workers = -2 }, "-workers"},
+		{"negative seed", func(a *args) { a.seed = -1 }, "out of range"},
+		{"NaN csrange", func(a *args) { a.csRange = math.NaN() }, "not a finite distance"},
+		{"negative csrange", func(a *args) { a.csRange = -3 }, "cannot be negative"},
+	}
+	for _, tc := range cases {
+		a := good
+		tc.mutate(&a)
+		pt, err := buildLoadPoint(a.nodes, a.rate, a.dur, a.mode, a.noCS, a.preambleAware,
+			a.workers, a.seed, a.csRange, aquago.Bridge)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: error expected, got nil", tc.name)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		case tc.wantErr == "":
+			if pt.PodSize != a.nodes || pt.Pods != 1 || pt.RateHz != a.rate ||
+				pt.DurationS != a.dur || pt.CarrierSense == a.noCS {
+				t.Errorf("%s: flags did not map onto the point: %+v", tc.name, pt)
+			}
 		}
 	}
 }

@@ -7,13 +7,15 @@ import (
 
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	// The per-experiment index in DESIGN.md: every figure and table
-	// of the paper's evaluation must have a registered harness.
+	// of the paper's evaluation must have a registered harness, plus
+	// the beyond-the-paper studies (MAC goodput, capture-effect SIR).
 	want := []string{
 		"fig03a", "fig03b", "fig03cd", "fig04", "fig08", "fig09",
 		"fig10", "fig11", "fig12", "fig12d", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19",
 		"tab-preamble", "tab-runtime",
 		"abl-waterfill", "abl-macpreamble", "abl-softdecision",
+		"macload", "macsir",
 	}
 	have := IDs()
 	if len(have) != len(want) {

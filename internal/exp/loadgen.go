@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// This file is the offered-load generator behind the MAC goodput
+// harness (macload.go): per-node Poisson message arrivals over a fixed
+// window, merged into one globally time-ordered schedule. Everything
+// derives from the seed, so a (nodes, rate, duration, seed) tuple
+// names exactly one workload — the property the golden seeds×workers
+// regression rides on.
+
+// messageBits is the information content of one offered message: the
+// protocol's 16-bit payload (one or two codebook hand signals).
+const messageBits = 16
+
+// arrival is one offered message: which node wants to transmit at
+// which virtual time.
+type arrival struct {
+	node int
+	atS  float64
+}
+
+// poissonArrivals draws each node's message arrival times over
+// [0, durS) as an independent Poisson process of rate ratePerNodeHz
+// (messages per virtual second): exponential inter-arrival gaps with
+// mean 1/rate, from a per-node stream seeded off the base seed so one
+// node's draw count never shifts another's sequence.
+func poissonArrivals(nodes int, ratePerNodeHz, durS float64, seed int64) [][]float64 {
+	out := make([][]float64, nodes)
+	for n := 0; n < nodes; n++ {
+		rng := rand.New(rand.NewSource(seed*6151 + int64(n)*2654435761 + 17))
+		t := rng.ExpFloat64() / ratePerNodeHz
+		for t < durS {
+			out[n] = append(out[n], t)
+			t += rng.ExpFloat64() / ratePerNodeHz
+		}
+	}
+	return out
+}
+
+// mergeArrivals flattens per-node arrival streams into one schedule
+// ordered by (time, node) — node index breaks exact ties so the order
+// is total and deterministic.
+func mergeArrivals(perNode [][]float64) []arrival {
+	var out []arrival
+	for n, times := range perNode {
+		for _, t := range times {
+			out = append(out, arrival{node: n, atS: t})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].atS != out[j].atS {
+			return out[i].atS < out[j].atS
+		}
+		return out[i].node < out[j].node
+	})
+	return out
+}
+
+// offeredBits totals the load a set of arrival streams offers, in
+// information bits (messageBits per arrival).
+func offeredBits(perNode [][]float64) int {
+	total := 0
+	for _, times := range perNode {
+		total += len(times) * messageBits
+	}
+	return total
+}

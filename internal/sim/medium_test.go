@@ -96,8 +96,12 @@ func TestWaveBankInterferenceMatchesReceiveWindow(t *testing.T) {
 	w.TransmitWave(b, 0.05, 0, dsp.Tone(3000, 0.1, 48000))
 
 	out := make([]float64, 48000/5)
-	if err := w.bank.Interference(out, rx, 0, 0); err != nil {
+	pow, err := w.bank.Interference(out, rx, 0, 0)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if want := dsp.Power(out); math.Abs(pow-want) > 1e-15 {
+		t.Fatalf("interference power %g, want the window's mean square %g", pow, want)
 	}
 	win, err := w.ReceiveWindow(rx, 0, 0.2)
 	if err != nil {
@@ -127,8 +131,12 @@ func TestWaveBankRangeAndExclusion(t *testing.T) {
 
 	mix := func(rangeM float64, exclude ...int) float64 {
 		out := make([]float64, 48000/5)
-		if err := bank.Interference(out, rx, 0, rangeM, exclude...); err != nil {
+		pow, err := bank.Interference(out, rx, 0, rangeM, exclude...)
+		if err != nil {
 			t.Fatal(err)
+		}
+		if peak := dsp.MaxAbs(out); (pow == 0) != (peak == 0) {
+			t.Fatalf("interference power %g inconsistent with mixed peak %g", pow, peak)
 		}
 		return dsp.MaxAbs(out)
 	}
@@ -165,6 +173,59 @@ func TestWaveBankPrune(t *testing.T) {
 	}
 }
 
+// TestWaveBankInterferencePowerAccounting pins the per-window
+// interferer power: it measures only what the bank added (independent
+// of the direct signal already in the window), is zero with nothing
+// audible, and falls with interferer distance — the geometry knob SIR
+// capture studies sweep.
+func TestWaveBankInterferencePowerAccounting(t *testing.T) {
+	powerAt := func(dM float64) float64 {
+		med := New(channel.Bridge)
+		rx := med.AddNode(Position{X: 0, Z: 1})
+		itf := med.AddNode(Position{X: dM, Z: 1})
+		bank := NewWaveBank(med, 48000, 21)
+		bank.Add(itf, 0, 0, dsp.Tone(2500, 0.1, 48000))
+		// Pre-load the window with a "direct signal": the reported
+		// power must not include it.
+		out := dsp.Tone(2000, 0.2, 48000)
+		before := append([]float64(nil), out...)
+		pow, err := bank.Interference(out, rx, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := make([]float64, len(out))
+		for i := range out {
+			added[i] = out[i] - before[i]
+		}
+		if want := dsp.Power(added); math.Abs(pow-want) > 1e-12*math.Max(want, 1) {
+			t.Fatalf("d=%g m: power %g, want mean square of added samples %g", dM, pow, want)
+		}
+		return pow
+	}
+	near, far := powerAt(5), powerAt(60)
+	if near <= 0 || far <= 0 {
+		t.Fatalf("audible interferers reported zero power (near %g, far %g)", near, far)
+	}
+	if far >= near {
+		t.Fatalf("interferer power did not fall with distance: %g at 5 m vs %g at 60 m", near, far)
+	}
+
+	// Nothing audible (range bound) -> exactly zero.
+	med := New(channel.Bridge)
+	rx := med.AddNode(Position{X: 0, Z: 1})
+	itf := med.AddNode(Position{X: 500, Z: 1})
+	bank := NewWaveBank(med, 48000, 21)
+	bank.Add(itf, 0, 0, dsp.Tone(2500, 0.1, 48000))
+	out := make([]float64, 48000/10)
+	pow, err := bank.Interference(out, rx, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pow != 0 {
+		t.Fatalf("out-of-range interferer reported power %g, want 0", pow)
+	}
+}
+
 // TestWaveBankInterferenceOrderIndependent: the mix must be
 // bit-identical regardless of the order waves were registered in
 // (concurrent out-of-range exchanges append in wall-clock order).
@@ -185,7 +246,7 @@ func TestWaveBankInterferenceOrderIndependent(t *testing.T) {
 			bank.Add(w.from, w.startS, 0, dsp.Tone(w.tone, 0.1, 48000))
 		}
 		out := make([]float64, 48000/5)
-		if err := bank.Interference(out, rx, 0, 0); err != nil {
+		if _, err := bank.Interference(out, rx, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 		return out

@@ -119,10 +119,16 @@ type interferer struct {
 // farther than rangeM — convolved through its (from, rx) link and
 // offset by propagation delay. Use rangeM 0 for unlimited audibility.
 //
+// The returned power is the mean square, over the window, of the
+// summed interference that was added (0 when nothing audible
+// overlapped it) — the per-window interferer power accounting behind
+// capture-effect SIR studies: signal power over interference power at
+// the receiver's ear, not at the transmitters.
+//
 // The direct signal of an exchange is normally carried by the pair
 // link itself; callers exclude both exchange endpoints and let the
 // bank contribute only foreign interference.
-func (wb *WaveBank) Interference(out []float64, rx int, baseS, rangeM float64, exclude ...int) error {
+func (wb *WaveBank) Interference(out []float64, rx int, baseS, rangeM float64, exclude ...int) (power float64, err error) {
 	fs := float64(wb.sampleRate)
 	durS := float64(len(out)) / fs
 	wb.mu.Lock()
@@ -142,11 +148,14 @@ func (wb *WaveBank) Interference(out []float64, rx int, baseS, rangeM float64, e
 		l, err := wb.links.Link(wt.From, rx)
 		if err != nil {
 			wb.mu.Unlock()
-			return err
+			return 0, err
 		}
 		hits = append(hits, interferer{link: l, wt: wt, off: int((arriveS - baseS) * fs)})
 	}
 	wb.mu.Unlock()
+	if len(hits) == 0 {
+		return 0, nil
+	}
 	// Sum in (start, transmitter) order, not store order: concurrent
 	// out-of-range exchanges append to wb.waves in wall-clock order,
 	// and float addition is non-associative — a virtual-time order
@@ -163,11 +172,45 @@ func (wb *WaveBank) Interference(out []float64, rx int, baseS, rangeM float64, e
 	// Convolve outside the lock: each link here points into rx, and the
 	// caller guarantees no concurrent mix shares an audible transmitter
 	// with this one (see the type comment), so the link state is ours.
-	for _, h := range hits {
+	// The power measured is that of the *summed* interference — the
+	// per-wave contributions are not what competes with the direct
+	// signal once they overlap. With one interferer (the common case)
+	// its received wave is the sum, windowed to out; several interferers
+	// sum into a scratch window first.
+	if len(hits) == 1 {
+		h := hits[0]
 		rxWave := h.link.TransmitAt(h.wt.Samples, h.wt.StartS)
 		dsp.AddAt(out, rxWave, h.off)
+		return windowPower(rxWave, h.off, len(out)), nil
 	}
-	return nil
+	mix := make([]float64, len(out))
+	for _, h := range hits {
+		rxWave := h.link.TransmitAt(h.wt.Samples, h.wt.StartS)
+		dsp.AddAt(mix, rxWave, h.off)
+	}
+	dsp.Add(out, mix)
+	return dsp.Power(mix), nil
+}
+
+// windowPower is the mean square, over a window of n samples, of a
+// wave placed at offset off into it (samples outside the window count
+// as the zeros they contribute).
+func windowPower(wave []float64, off, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	lo, hi := 0, len(wave)
+	if off < 0 {
+		lo = -off
+	}
+	if off+hi > n {
+		hi = n - off
+	}
+	var sum float64
+	for i := lo; i < hi; i++ {
+		sum += wave[i] * wave[i]
+	}
+	return sum / float64(n)
 }
 
 // AmbientNoise adds one dose of the site's ambient noise to a receive
@@ -249,7 +292,7 @@ func (w *WaveMedium) ReceiveWindow(rx int, fromS, toS float64) ([]float64, error
 	}
 	n := int((toS - fromS) * float64(w.sampleRate))
 	out := make([]float64, n)
-	if err := w.bank.Interference(out, rx, fromS, 0); err != nil {
+	if _, err := w.bank.Interference(out, rx, fromS, 0); err != nil {
 		return nil, err
 	}
 	w.bank.AmbientNoise(out, rx, fromS)

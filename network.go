@@ -2,6 +2,7 @@ package aquago
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -52,6 +53,46 @@ const (
 	WaveformContention
 )
 
+// ExchangeEvent describes one committed transmission attempt: who
+// transmitted to whom, when it went on the air, and its actual on-air
+// duration (known only after the exchange, once the feedback band —
+// and with it the data-section length — is fixed). Aggregate airtime
+// is also available through SchedulerStats.
+type ExchangeEvent struct {
+	// Tx and Rx are the attempt's endpoints.
+	Tx, Rx DeviceID
+	// StartS is the MAC-granted transmit time (virtual seconds).
+	StartS float64
+	// AirtimeS is the attempt's actual on-air duration.
+	AirtimeS float64
+}
+
+// SIRSample is the signal-to-interference accounting of one
+// waveform-mode receive window: the direct signal's power at the
+// receiver's ear versus the summed power of every audible concurrent
+// transmission mixed into the same window (both after per-pair channel
+// convolution and propagation, before ambient noise). Only emitted
+// under WithContentionMode(WaveformContention).
+type SIRSample struct {
+	// Tx and Rx are the window's endpoints (Rx is listening).
+	Tx, Rx DeviceID
+	// AtS is the window start at the receiver (virtual seconds).
+	AtS float64
+	// SignalPower is the direct signal's mean-square power over the
+	// window; InterferencePower is the summed interferers' (0 when the
+	// window was clean).
+	SignalPower, InterferencePower float64
+}
+
+// SIRdB returns the window's signal-to-interference ratio in dB
+// (+Inf for a clean window).
+func (s SIRSample) SIRdB() float64 {
+	if s.InterferencePower <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(s.SignalPower/s.InterferencePower)
+}
+
 // NetworkOption customizes NewNetwork.
 type NetworkOption func(*networkConfig)
 
@@ -65,6 +106,8 @@ type networkConfig struct {
 	trace           Trace
 	mode            ContentionMode
 	workers         int
+	exchangeProbe   func(ExchangeEvent)
+	sirProbe        func(SIRSample)
 }
 
 // WithNetworkSeed fixes the random realization of every channel and
@@ -117,6 +160,27 @@ func WithNetworkTrace(t Trace) NetworkOption {
 // — see the ContentionMode constants for the trade-off.
 func WithContentionMode(m ContentionMode) NetworkOption {
 	return func(c *networkConfig) { c.mode = m }
+}
+
+// WithExchangeProbe installs fn, called once per committed
+// transmission attempt with its endpoints, granted start time and
+// actual on-air airtime. Calls are serialized (never concurrent with
+// themselves or a network-wide Trace) but may arrive in any order
+// across non-interfering exchanges; fn must return quickly and must
+// not call back into the network. Load harnesses use it to turn
+// attempt airtimes into latency and utilization without re-deriving
+// protocol timing.
+func WithExchangeProbe(fn func(ExchangeEvent)) NetworkOption {
+	return func(c *networkConfig) { c.exchangeProbe = fn }
+}
+
+// WithSIRProbe installs fn, called for every waveform-mode receive
+// window with its per-window signal and interference power (see
+// SIRSample). No-op under EnvelopeContention, where windows are never
+// mixed. The same serialization and no-reentrancy rules as
+// WithExchangeProbe apply.
+func WithSIRProbe(fn func(SIRSample)) NetworkOption {
+	return func(c *networkConfig) { c.sirProbe = fn }
 }
 
 // WithNetworkWorkers bounds how many exchanges may execute

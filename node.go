@@ -111,6 +111,22 @@ func (nd *Node) ClockS() float64 {
 	return nd.clockS
 }
 
+// AdvanceClock idles the node until atS on the shared virtual
+// timeline: its next transmission becomes ready no earlier than atS.
+// The clock never moves backward — a time at or before the current
+// clock is a no-op — so callers can replay an offered-load schedule
+// ("a message arrives at t") without tracking how far the node's own
+// traffic already pushed it. Advancing an otherwise idle node also
+// unpins the envelope and waveform logs, which are pruned at the
+// minimum virtual time any node could still act at.
+func (nd *Node) AdvanceClock(atS float64) {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	if atS > nd.clockS {
+		nd.clockS = atS
+	}
+}
+
 // onStage routes protocol stage events to the node's trace, falling
 // back to the network-wide trace. The node trace is serialized by the
 // node's own send serialization; the shared network trace is
@@ -191,7 +207,7 @@ func (nd *Node) Send(ctx context.Context, dst DeviceID, msgs ...uint8) (SendResu
 	}
 	var xmed phy.Medium
 	if n.bank != nil {
-		xmed = &waveSlot{net: n, a: nd.idx, b: peer.idx}
+		xmed = &waveSlot{net: n, a: nd.idx, b: peer.idx, aID: nd.id, bID: peer.id}
 	} else {
 		pair, err := n.links.Pair(nd.idx, peer.idx)
 		if err != nil {

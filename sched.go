@@ -54,8 +54,18 @@ type ticket struct {
 type SchedulerStats struct {
 	// Granted counts MAC-granted transmission attempts.
 	Granted int
+	// Committed counts attempts that completed their exchange and were
+	// registered on the envelope medium (Granted minus aborts).
+	Committed int
+	// AirtimeS totals the committed attempts' actual on-air time in
+	// virtual seconds (per-attempt airtime is available through
+	// WithExchangeProbe); AirtimeS over elapsed virtual time is the
+	// offered channel utilization.
+	AirtimeS float64
 	// MaxConcurrent is the peak number of exchanges that were running
-	// simultaneously on worker slots.
+	// simultaneously on worker slots. Unlike the counters above it is a
+	// wall-clock observation: it depends on how exchanges happened to
+	// overlap in real time, so it is not deterministic run to run.
 	MaxConcurrent int
 	// Workers is the worker-slot budget the network resolved
 	// (WithNetworkWorkers; 0 resolves to one per CPU core).
@@ -256,9 +266,20 @@ func (n *Network) commitAttempt(nd *Node, tk *ticket, startS, durS float64) {
 	n.mu.Lock()
 	n.med.Transmit(nd.cont.Transmission(nd.idx, startS, durS, nd.seq))
 	nd.seq++
+	n.stats.Committed++
+	n.stats.AirtimeS += durS
+	rxID := n.order[tk.rx].id
 	n.running--
 	n.resolveLocked(tk)
 	n.mu.Unlock()
+	if probe := n.cfg.exchangeProbe; probe != nil {
+		// Outside n.mu (the probe must not block virtual-time
+		// bookkeeping) but under traceMu: commits of non-interfering
+		// exchanges can race, and probes are promised serial delivery.
+		n.traceMu.Lock()
+		probe(ExchangeEvent{Tx: nd.id, Rx: rxID, StartS: startS, AirtimeS: durS})
+		n.traceMu.Unlock()
+	}
 	<-n.sem
 }
 

@@ -1,12 +1,15 @@
 package aquago
 
+import "aquago/internal/dsp"
+
 // waveSlot adapts one exchange (a transmits to b) onto the network's
 // shared WaveBank, satisfying phy.Medium with waveform-true
 // contention: every stage's transmit waveform is registered on the
 // air, and every receive window is the direct signal through the pair
 // link plus all audible foreign transmissions, convolved through
 // their own channels and delayed by propagation, plus one dose of
-// ambient noise.
+// ambient noise. Each window's direct-signal and summed-interference
+// powers feed the network's SIR probe (WithSIRProbe).
 //
 // The conflict-graph scheduler guarantees that while this exchange
 // runs, no concurrent exchange shares a node with it or sits within
@@ -17,8 +20,9 @@ package aquago
 // exactly the committed traffic of scheduler predecessors,
 // independent of worker count.
 type waveSlot struct {
-	net  *Network
-	a, b int
+	net      *Network
+	a, b     int
+	aID, bID DeviceID
 }
 
 // Forward carries a -> b at virtual time atS.
@@ -43,12 +47,33 @@ func (ws *waveSlot) carry(from, to int, tx []float64, atS float64) []float64 {
 		return make([]float64, len(tx))
 	}
 	out := l.TransmitAt(tx, atS)
+	// The direct signal's received power, before anything is mixed in —
+	// the numerator of the window's SIR.
+	sigPower := dsp.Power(out)
 	// out[0] sits at the direct signal's arrival instant; interferers
 	// land at their own arrival times relative to it.
 	baseS := atS + bank.DelayS(from, to)
-	if err := bank.Interference(out, to, baseS, ws.net.cfg.csRangeM, ws.a, ws.b); err != nil {
+	intPower, err := bank.Interference(out, to, baseS, ws.net.cfg.csRangeM, ws.a, ws.b)
+	if err != nil {
 		return out
 	}
 	bank.AmbientNoise(out, to, baseS)
+	if probe := ws.net.cfg.sirProbe; probe != nil {
+		ws.net.traceMu.Lock()
+		probe(SIRSample{
+			Tx: ws.idOf(from), Rx: ws.idOf(to), AtS: baseS,
+			SignalPower: sigPower, InterferencePower: intPower,
+		})
+		ws.net.traceMu.Unlock()
+	}
 	return out
+}
+
+// idOf maps the slot's endpoint indices to device IDs (captured at
+// Send entry; the pair cannot change mid-exchange).
+func (ws *waveSlot) idOf(idx int) DeviceID {
+	if idx == ws.a {
+		return ws.aID
+	}
+	return ws.bID
 }
