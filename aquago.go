@@ -29,7 +29,12 @@
 // envelope statistics (the default fast path) or corrupt the actual
 // received samples (WithContentionMode(WaveformContention)), and
 // non-interfering exchanges run in parallel on a conflict-graph
-// scheduler (WithNetworkWorkers).
+// scheduler (WithNetworkWorkers). Above the MAC, the network routes
+// and relays: Network.Route picks multi-hop paths over the
+// carrier-sense audibility graph (WithRouting: min-hop or ETX-style
+// channel-quality weighting), Network.SendVia walks an explicit path
+// store-and-forward, and Node.SendBulk streams arbitrary payloads
+// down the routed path with per-packet band re-adaptation.
 //
 // Failures across the surface wrap the typed taxonomy in errors.go
 // (ErrNoACK, ErrChannelBusy, ErrDecodeFailed, ...) for errors.Is, and

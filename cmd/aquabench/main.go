@@ -2,13 +2,16 @@
 // every figure and table of §3 has a harness in internal/exp, and
 // this tool runs them and prints the same series the paper plots.
 // Beyond the paper, -macload runs the MAC goodput-vs-offered-load
-// sweep and the capture-effect SIR study on the live Network.
+// sweep and the capture-effect SIR study on the live Network, and
+// -multihop runs the relay study (bulk goodput/latency vs hop count,
+// relayed goodput vs offered load over line/grid/pod topologies).
 //
 // Usage:
 //
 //	aquabench -list
 //	aquabench -exp fig09,fig12 [-packets 100] [-seed 1] [-workers 0]
 //	aquabench -macload [-quick] [-json]
+//	aquabench -multihop [-quick] [-json]
 //	aquabench -all [-quick] [-json] [-out BENCH_exp.json] [-diff BENCH_exp.json]
 //
 // -workers sizes the parallel experiment engine (0 = one worker per
@@ -66,12 +69,16 @@ type benchFile struct {
 	Experiments []benchExperiment `json:"experiments"`
 }
 
-// macloadIDs are the experiments the -macload shorthand selects.
-var macloadIDs = []string{"macload", "macsir"}
+// macloadIDs / multihopIDs are the experiments the shorthand flags
+// select.
+var (
+	macloadIDs  = []string{"macload", "macsir"}
+	multihopIDs = []string{"multihop"}
+)
 
 // selectExperiments resolves the selection flags into experiment IDs,
 // de-duplicated in run order.
-func selectExperiments(all, macload bool, ids string) ([]string, error) {
+func selectExperiments(all, macload, multihop bool, ids string) ([]string, error) {
 	var selected []string
 	switch {
 	case all:
@@ -84,8 +91,11 @@ func selectExperiments(all, macload bool, ids string) ([]string, error) {
 	if macload {
 		selected = append(selected, macloadIDs...)
 	}
+	if multihop {
+		selected = append(selected, multihopIDs...)
+	}
 	if len(selected) == 0 {
-		return nil, errors.New("pass -all, -exp id[,id...], -macload or -list")
+		return nil, errors.New("pass -all, -exp id[,id...], -macload, -multihop or -list")
 	}
 	seen := make(map[string]bool, len(selected))
 	out := selected[:0]
@@ -234,6 +244,7 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	ids := flag.String("exp", "", "comma-separated experiment IDs")
 	macload := flag.Bool("macload", false, "run the MAC goodput sweep and capture-effect SIR study (macload, macsir)")
+	multihop := flag.Bool("multihop", false, "run the multi-hop relay study (multihop)")
 	packets := flag.Int("packets", 0, "packets per measurement point (0 = default 100)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
@@ -253,7 +264,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(2)
 	}
-	selected, err := selectExperiments(*all, *macload, *ids)
+	selected, err := selectExperiments(*all, *macload, *multihop, *ids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(2)

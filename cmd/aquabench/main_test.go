@@ -10,21 +10,24 @@ import (
 
 func TestSelectExperiments(t *testing.T) {
 	cases := []struct {
-		name         string
-		all, macload bool
-		ids          string
-		want         []string
-		wantErr      string
+		name                   string
+		all, macload, multihop bool
+		ids                    string
+		want                   []string
+		wantErr                string
 	}{
 		{name: "nothing selected", wantErr: "pass -all"},
 		{name: "macload shorthand", macload: true, want: []string{"macload", "macsir"}},
+		{name: "multihop shorthand", multihop: true, want: []string{"multihop"}},
 		{name: "explicit ids", ids: "fig09, fig12", want: []string{"fig09", "fig12"}},
 		{name: "ids plus macload", ids: "fig09", macload: true, want: []string{"fig09", "macload", "macsir"}},
 		{name: "macload deduplicates", ids: "macload", macload: true, want: []string{"macload", "macsir"}},
+		{name: "both shorthands", macload: true, multihop: true, want: []string{"macload", "macsir", "multihop"}},
+		{name: "multihop deduplicates", ids: "multihop", multihop: true, want: []string{"multihop"}},
 		{name: "empty id", ids: "fig09,,fig12", wantErr: "empty experiment ID"},
 	}
 	for _, tc := range cases {
-		got, err := selectExperiments(tc.all, tc.macload, tc.ids)
+		got, err := selectExperiments(tc.all, tc.macload, tc.multihop, tc.ids)
 		switch {
 		case tc.wantErr != "":
 			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
@@ -46,8 +49,8 @@ func TestSelectExperiments(t *testing.T) {
 		}
 	}
 	// -all must include the new experiments (the bench job relies on
-	// one invocation covering the goodput block).
-	all, err := selectExperiments(true, false, "")
+	// one invocation covering every goodput block).
+	all, err := selectExperiments(true, false, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,8 +58,8 @@ func TestSelectExperiments(t *testing.T) {
 	for _, id := range all {
 		found[id] = true
 	}
-	if !found["macload"] || !found["macsir"] {
-		t.Fatalf("-all selection %v is missing macload/macsir", all)
+	if !found["macload"] || !found["macsir"] || !found["multihop"] {
+		t.Fatalf("-all selection %v is missing macload/macsir/multihop", all)
 	}
 }
 

@@ -5,7 +5,11 @@
 // mode goes beyond the paper: it drives a live Network with Poisson
 // offered load per node and reports delivered goodput, latency
 // percentiles, collision fraction and scheduler counters for one
-// offered-load point (the sweep lives in `aquabench -macload`). Both
+// offered-load point (the sweep lives in `aquabench -macload`). The
+// -relay mode routes a bulk payload down a multi-hop relay line —
+// store-and-forward over the carrier-sense MAC, per-packet band
+// re-adaptation, per-hop progress — and reports end-to-end goodput
+// and latency (the sweep lives in `aquabench -multihop`). All modes
 // run entirely on the public Network API.
 //
 // Usage:
@@ -15,6 +19,8 @@
 //	aquanet -load [-nodes 8] [-rate 0.05] [-duration 120]
 //	        [-mode envelope|waveform] [-no-cs] [-workers 0]
 //	        [-seed 1] [-env bridge] [-csrange 0] [-preamble-aware]
+//	aquanet -relay [-hops 3] [-spacing 25] [-bulk 32] [-policy minhop]
+//	        [-mode envelope|waveform] [-seed 1] [-env bridge] [-csrange 0]
 package main
 
 import (
@@ -113,6 +119,51 @@ func buildLoadPoint(nodes int, rate, duration float64, mode string, noCS, preamb
 	return p, nil
 }
 
+// parsePolicy maps the -policy flag onto a routing policy.
+func parsePolicy(policy string) (aquago.RoutingPolicy, error) {
+	switch policy {
+	case "minhop":
+		return aquago.MinHop, nil
+	case "minetx":
+		return aquago.MinETX, nil
+	default:
+		return 0, fmt.Errorf("-policy %q: pick minhop or minetx", policy)
+	}
+}
+
+// buildRelayPoint turns -relay flags into a validated relay
+// measurement point. Hop-count, spacing and payload abuse is rejected
+// by the point's own Validate, shared with the multihop harness.
+func buildRelayPoint(hops int, spacing float64, bulk int, mode, policy string,
+	seed int64, csRange float64, env aquago.Environment) (exp.MultiHopPoint, error) {
+	if err := validateCommonFlags(seed, csRange); err != nil {
+		return exp.MultiHopPoint{}, err
+	}
+	m, err := parseMode(mode)
+	if err != nil {
+		return exp.MultiHopPoint{}, err
+	}
+	pol, err := parsePolicy(policy)
+	if err != nil {
+		return exp.MultiHopPoint{}, err
+	}
+	p := exp.MultiHopPoint{
+		Hops:         hops,
+		SpacingM:     spacing,
+		CSRangeM:     csRange,
+		PayloadBytes: bulk,
+		Mode:         m,
+		Policy:       pol,
+		Seed:         seed,
+		Retries:      -1,
+		Env:          env,
+	}
+	if err := p.Validate(); err != nil {
+		return exp.MultiHopPoint{}, err
+	}
+	return p, nil
+}
+
 func main() {
 	nTx := flag.Int("tx", 3, "number of transmitters (Fig 19 mode)")
 	packets := flag.Int("packets", 120, "packets per transmitter (Fig 19 mode)")
@@ -129,12 +180,28 @@ func main() {
 	mode := flag.String("mode", "envelope", "contention mode: envelope or waveform (-load)")
 	noCS := flag.Bool("no-cs", false, "disable carrier sense (-load; Fig 19 mode always runs both)")
 	workers := flag.Int("workers", 0, "network scheduler worker slots, 0 = one per core (-load)")
+	relay := flag.Bool("relay", false, "relay mode: route a bulk payload down a multi-hop line")
+	hops := flag.Int("hops", 3, "relay path length in hops (-relay)")
+	spacing := flag.Float64("spacing", 25, "distance between adjacent relay nodes in meters (-relay)")
+	bulk := flag.Int("bulk", 32, "bulk payload size in bytes (-relay)")
+	policy := flag.String("policy", "minhop", "routing policy: minhop or minetx (-relay)")
 	flag.Parse()
 
 	env, ok := channel.ByName(*envName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "aquanet: unknown environment %q\n", *envName)
 		os.Exit(1)
+	}
+	if *relay && *load {
+		fatal(errors.New("pick one of -relay and -load"))
+	}
+	if *relay {
+		pt, err := buildRelayPoint(*hops, *spacing, *bulk, *mode, *policy, *seed, *csRange, env)
+		if err != nil {
+			fatal(err)
+		}
+		runRelay(pt, env.Name)
+		return
 	}
 	if *load {
 		pt, err := buildLoadPoint(*nodes, *rate, *duration, *mode, *noCS, *preambleAware,
@@ -185,6 +252,37 @@ func runLoad(pt exp.MacLoadPoint, envName string) {
 	fmt.Printf("scheduler   %d granted, %d committed, airtime %.1f s (util %.0f%%), peak concurrency %d on %d workers, conflict width %d\n",
 		res.Sched.Granted, res.Sched.Committed, res.Sched.AirtimeS, 100*util,
 		res.Sched.MaxConcurrent, res.Sched.Workers, res.ConflictWidth)
+}
+
+// runRelay measures one bulk relay transfer, printing per-hop
+// progress as the payload store-and-forwards down the line.
+func runRelay(pt exp.MultiHopPoint, envName string) {
+	modeName := "envelope"
+	if pt.Mode == aquago.WaveformContention {
+		modeName = "waveform"
+	}
+	fmt.Printf("Relay simulation: %d bytes over %d hops (%g m spacing), %s, %s mode, %v routing\n",
+		pt.PayloadBytes, pt.Hops, pt.SpacingM, envName, modeName, pt.Policy)
+	// Per-hop progress: one line per completed hop exchange (the data
+	// stage carries the band the packet re-adapted onto).
+	pt.Trace = aquago.TraceFunc(func(ev aquago.StageEvent) {
+		if ev.Stage != aquago.StageData {
+			return
+		}
+		status := "lost"
+		if ev.OK {
+			status = "ok"
+		}
+		fmt.Printf("  pkt %2d/%d  hop %d/%d  data %-4s  band [%d..%d]\n",
+			ev.BulkPkt+1, ev.BulkPkts, ev.Hop+1, ev.PathHops, status, ev.Band.Lo, ev.Band.Hi)
+	})
+	res, err := exp.RunMultiHopPoint(pt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("delivered   %d/%d packets (%d attempts) over %d hops\n",
+		res.DeliveredPackets, res.Packets, res.Attempts, res.Hops)
+	fmt.Printf("end-to-end  %.2f s latency, %.2f bps goodput\n", res.LatencyS, res.GoodputBPS)
 }
 
 // runFig19 is the original batch contention mode.

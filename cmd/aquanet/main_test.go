@@ -109,3 +109,58 @@ func TestBuildLoadPoint(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildRelayPoint covers the -relay flag error paths, funneled
+// through the multihop harness point's own Validate so CLI and
+// harness cannot drift apart on what is runnable.
+func TestBuildRelayPoint(t *testing.T) {
+	type args struct {
+		hops    int
+		spacing float64
+		bulk    int
+		mode    string
+		policy  string
+		seed    int64
+		csRange float64
+	}
+	good := args{hops: 3, spacing: 25, bulk: 32, mode: "envelope", policy: "minhop", seed: 1}
+	cases := []struct {
+		name    string
+		mutate  func(*args)
+		wantErr string
+	}{
+		{"defaults", func(*args) {}, ""},
+		{"waveform etx", func(a *args) { a.mode = "waveform"; a.policy = "minetx" }, ""},
+		{"explicit csrange", func(a *args) { a.csRange = 40 }, ""},
+		{"zero hops", func(a *args) { a.hops = 0 }, "at least one hop"},
+		{"too many hops", func(a *args) { a.hops = 60 }, "60-device limit"},
+		{"NaN spacing", func(a *args) { a.spacing = math.NaN() }, "not a usable distance"},
+		{"negative spacing", func(a *args) { a.spacing = -2 }, "not a usable distance"},
+		{"deaf csrange", func(a *args) { a.csRange = 10 }, "no route exists"},
+		{"zero payload", func(a *args) { a.bulk = 0 }, "need a payload"},
+		{"huge payload", func(a *args) { a.bulk = 1 << 20 }, "cap"},
+		{"bad mode", func(a *args) { a.mode = "sonar" }, "pick envelope or waveform"},
+		{"bad policy", func(a *args) { a.policy = "hottest-gossip" }, "pick minhop or minetx"},
+		{"negative seed", func(a *args) { a.seed = -1 }, "out of range"},
+		{"negative csrange", func(a *args) { a.csRange = -3 }, "cannot be negative"},
+	}
+	for _, tc := range cases {
+		a := good
+		tc.mutate(&a)
+		pt, err := buildRelayPoint(a.hops, a.spacing, a.bulk, a.mode, a.policy,
+			a.seed, a.csRange, aquago.Bridge)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: error expected, got nil", tc.name)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		case tc.wantErr == "":
+			if pt.Hops != a.hops || pt.SpacingM != a.spacing || pt.PayloadBytes != a.bulk ||
+				pt.Retries != -1 {
+				t.Errorf("%s: flags did not map onto the point: %+v", tc.name, pt)
+			}
+		}
+	}
+}

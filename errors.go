@@ -41,6 +41,14 @@ var (
 	// ErrDuplicateDevice: a Join with a device ID already in the
 	// network.
 	ErrDuplicateDevice = errors.New("aquago: device ID already joined")
+	// ErrNoRoute: routing found no relay path between the endpoints —
+	// the audibility graph (node pairs within the carrier-sense range)
+	// does not connect them.
+	ErrNoRoute = errors.New("aquago: no relay route between nodes")
+	// ErrBadPath: an explicit relay path that cannot be walked — fewer
+	// than two nodes, or a repeated node (paths must be acyclic: a relay
+	// revisiting a node would loop forever in a real deployment).
+	ErrBadPath = errors.New("aquago: invalid relay path")
 	// ErrNoBand: band adaptation found no subcarrier clearing the SNR
 	// threshold (reported via Result.BandOK; exported for tests).
 	ErrNoBand = phy.ErrNoBand
@@ -78,3 +86,38 @@ func (e *ChannelBusyError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrChannelBusy) match.
 func (e *ChannelBusyError) Unwrap() error { return ErrChannelBusy }
+
+// RelayError reports a multi-hop transfer (Network.SendVia,
+// Network.SendBulkVia, Node.SendBulk) that died mid-path: which hop
+// failed, between which devices, on which bulk packet, and why. The
+// underlying cause unwraps, so both layers of the taxonomy compose:
+//
+//	var hopErr *aquago.RelayError
+//	if errors.As(err, &hopErr) {
+//	    log.Printf("hop %d (%d -> %d) failed", hopErr.Hop, hopErr.From, hopErr.To)
+//	}
+//	if errors.Is(err, aquago.ErrChannelBusy) { ... } // the hop's cause
+type RelayError struct {
+	// Hop is the zero-based index of the failed hop along Path
+	// (hop h carries Path[h] -> Path[h+1]).
+	Hop int
+	// From and To are the failed hop's endpoints.
+	From, To DeviceID
+	// Path is the full relay path the transfer was walking.
+	Path []DeviceID
+	// Pkt is the zero-based bulk packet the failure struck (0 for a
+	// single-message SendVia).
+	Pkt int
+	// Err is the hop's underlying failure (ErrNoACK, ErrChannelBusy,
+	// a cancelled context, ...).
+	Err error
+}
+
+// Error implements error.
+func (e *RelayError) Error() string {
+	return fmt.Sprintf("aquago: relay hop %d (%d -> %d) of path %v failed on packet %d: %v",
+		e.Hop, e.From, e.To, e.Path, e.Pkt, e.Err)
+}
+
+// Unwrap exposes the failed hop's cause to errors.Is/errors.As.
+func (e *RelayError) Unwrap() error { return e.Err }

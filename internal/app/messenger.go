@@ -94,6 +94,14 @@ func (ms *Messenger) Send(med phy.Medium, dst phy.DeviceID, first, second uint8,
 	if err != nil {
 		return SendResult{}, err
 	}
+	return ms.SendRaw(med, dst, payload, atS)
+}
+
+// SendRaw is Send for an arbitrary 16-bit payload: the same gated,
+// retried exchange loop, minus the codebook validation. Bulk transfer
+// rides on it — a payload chunk is two raw bytes, not two hand-signal
+// IDs.
+func (ms *Messenger) SendRaw(med phy.Medium, dst phy.DeviceID, payload [2]byte, atS float64) (SendResult, error) {
 	pkt := phy.Packet{Dst: dst, Src: ms.Src, Payload: payload}
 	var out SendResult
 	now := atS

@@ -138,6 +138,11 @@ type Result struct {
 	CodedBits, CodedErrors int
 	// InfoErrors: post-Viterbi payload bit errors.
 	InfoErrors int
+	// Decoded is the payload as Bob actually decoded it — dirty bits
+	// included — valid once the data stage ran to completion, and equal
+	// to the transmitted payload exactly when Delivered. The relay
+	// layer's hop-conservation audit rides on it.
+	Decoded [2]byte
 	// Delivered: payload decoded exactly.
 	Delivered bool
 	// ACKReceived: Alice heard Bob's ACK.
@@ -319,6 +324,7 @@ func (p *Protocol) Exchange(med Medium, pkt Packet, atS float64) (Result, error)
 			res.InfoErrors++
 		}
 	}
+	copy(res.Decoded[:], fec.BytesFromBits(decoded))
 	res.Delivered = res.InfoErrors == 0
 	p.emit(StageEvent{Stage: StageData, AtS: now, OK: res.Delivered, Band: band, BitErrors: res.InfoErrors})
 

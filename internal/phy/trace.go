@@ -66,6 +66,19 @@ type StageEvent struct {
 	SNRdB []float64
 	// BitErrors is the post-Viterbi payload error count (StageData).
 	BitErrors int
+
+	// Relay context. The protocol itself never sets these: the network's
+	// relay layer stamps them onto every event of a hop's exchange, so a
+	// trace can follow a message down a multi-hop path. Hop is the
+	// zero-based hop whose exchange emitted the event and PathHops the
+	// path's total hop count (both zero for a plain single-hop Send —
+	// a relayed transfer always has PathHops >= 1). BulkPkt/BulkPkts
+	// locate the event inside a bulk transfer's packet sequence the same
+	// way (BulkPkts is zero outside Node.SendBulk).
+	Hop      int
+	PathHops int
+	BulkPkt  int
+	BulkPkts int
 }
 
 // SetStageHook installs (or, with nil, removes) the per-stage

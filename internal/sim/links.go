@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"aquago/internal/channel"
 )
@@ -111,6 +112,44 @@ func clampDepth(z, depth float64) float64 {
 		return depth - 0.5
 	}
 	return z
+}
+
+// PairSNRdB estimates the per-direction channel quality of a node
+// pair: the in-band SNR a unit-power transmission from a would enjoy
+// at b's ear (fwd) and vice versa (bwd), in dB. The estimate is the
+// composite impulse response's energy over the receiver's ambient
+// in-band noise power — the same links an exchange would use, but
+// freshly built (never the cache), so probing quality shares no
+// mutable state with live traffic. Noise-free link sets (NoiseOff)
+// report +Inf. Deterministic: same seeds, same geometry, same answer.
+func (ls *Links) PairSNRdB(a, b int) (fwd, bwd float64, err error) {
+	fl, err := ls.buildLink(a, b)
+	if err != nil {
+		return 0, 0, err
+	}
+	bl, err := ls.buildLink(b, a)
+	if err != nil {
+		return 0, 0, err
+	}
+	return linkSNRdB(fl), linkSNRdB(bl), nil
+}
+
+// linkSNRdB reduces one directed link to a scalar quality: received
+// signal energy (sum of squared impulse-response taps, which includes
+// device TX level and filter chains) over ambient noise power.
+func linkSNRdB(l *channel.Link) float64 {
+	var sig float64
+	for _, h := range l.ImpulseResponse() {
+		sig += h * h
+	}
+	n := l.InBandNoiseRMS()
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	if sig <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(sig/(n*n))
 }
 
 // PairMedium adapts one node pair into the protocol's two-direction

@@ -215,3 +215,36 @@ func TestPairMediumCarriesSignal(t *testing.T) {
 		}
 	}
 }
+
+// TestPairSNRdBQualityOrdering: the routing layer's channel-quality
+// probe must be deterministic, must degrade with distance (more path
+// loss, same ambient noise), and must never touch the link cache
+// (probing quality cannot perturb live traffic's channel state).
+func TestPairSNRdBQualityOrdering(t *testing.T) {
+	med := New(channel.Bridge)
+	o := med.AddNode(Position{X: 0, Z: 1})
+	near := med.AddNode(Position{X: 5, Z: 1})
+	far := med.AddNode(Position{X: 80, Z: 1})
+	ls := NewLinks(med, 48000, 5, false)
+
+	nf, nb, err := ls.PairSNRdB(o, near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, fb, err := ls.PairSNRdB(o, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf <= ff || nb <= fb {
+		t.Fatalf("5 m pair (%.1f/%.1f dB) not better than 80 m pair (%.1f/%.1f dB)", nf, nb, ff, fb)
+	}
+	if nf2, nb2, err := ls.PairSNRdB(o, near); err != nil || nf2 != nf || nb2 != nb {
+		t.Fatalf("probe not deterministic: (%g, %g, %v) then (%g, %g)", nf, nb, err, nf2, nb2)
+	}
+	if len(ls.cache) != 0 {
+		t.Fatalf("quality probe populated the link cache (%d entries)", len(ls.cache))
+	}
+	if _, _, err := ls.PairSNRdB(o, o); err == nil {
+		t.Fatal("self pair must error")
+	}
+}

@@ -106,6 +106,7 @@ type networkConfig struct {
 	trace           Trace
 	mode            ContentionMode
 	workers         int
+	routing         RoutingPolicy
 	exchangeProbe   func(ExchangeEvent)
 	sirProbe        func(SIRSample)
 }
@@ -240,6 +241,11 @@ type Network struct {
 	// wcAirtimeS is the worst-case (narrowest-band) exchange airtime
 	// across joined nodes — Prune's bound on future durations.
 	wcAirtimeS float64
+	// Routing caches (route.go): shortest paths and ETX edge weights
+	// per node-index pair. Geometry is fixed after Join, so entries
+	// never go stale — Join drops both wholesale.
+	routeCache map[[2]int][]int
+	etxCache   map[[2]int]float64
 
 	// Conflict-graph scheduler state (sched.go).
 	gateSeq uint64
@@ -266,6 +272,9 @@ func NewNetwork(env Environment, opts ...NetworkOption) (*Network, error) {
 	}
 	if cfg.mode != EnvelopeContention && cfg.mode != WaveformContention {
 		return nil, fmt.Errorf("aquago: unknown contention mode %d", cfg.mode)
+	}
+	if cfg.routing != MinHop && cfg.routing != MinETX {
+		return nil, fmt.Errorf("aquago: unknown routing policy %d", int(cfg.routing))
 	}
 	med := sim.New(env)
 	med.CSRangeM = cfg.csRangeM
@@ -376,6 +385,7 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 	}
 	n.nodes[id] = nd
 	n.order = append(n.order, nd)
+	n.invalidateRoutesLocked()
 	return nd, nil
 }
 

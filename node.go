@@ -79,11 +79,23 @@ type Node struct {
 	// sendMu serializes this node's Sends (one radio per device); the
 	// scheduler handles cross-node ordering.
 	sendMu sync.Mutex
+	// relay is the hop context stamped onto stage events while a
+	// relayed transfer's hop runs on this node (zero outside one).
+	// Guarded by sendMu: it is only written at the top of sendWith and
+	// only read by onStage, which runs inside the exchange.
+	relay relayCtx
 
 	// Guarded by net.mu.
 	clockS   float64
 	airtimeS float64
 	seq      int
+}
+
+// relayCtx locates one hop exchange inside a multi-hop (and possibly
+// bulk) transfer; see the StageEvent relay fields.
+type relayCtx struct {
+	hop, pathHops     int
+	bulkPkt, bulkPkts int
 }
 
 // newNodeMessenger wires a messenger with the network's retry budget.
@@ -128,11 +140,16 @@ func (nd *Node) AdvanceClock(atS float64) {
 }
 
 // onStage routes protocol stage events to the node's trace, falling
-// back to the network-wide trace. The node trace is serialized by the
-// node's own send serialization; the shared network trace is
-// serialized explicitly, since exchanges on non-interfering pairs run
-// in parallel.
+// back to the network-wide trace, stamping the relay hop context on
+// the way through. The node trace is serialized by the node's own
+// send serialization; the shared network trace is serialized
+// explicitly, since exchanges on non-interfering pairs run in
+// parallel.
 func (nd *Node) onStage(ev phy.StageEvent) {
+	ev.Hop = nd.relay.hop
+	ev.PathHops = nd.relay.pathHops
+	ev.BulkPkt = nd.relay.bulkPkt
+	ev.BulkPkts = nd.relay.bulkPkts
 	switch {
 	case nd.trace != nil:
 		nd.trace.OnStage(ev)
@@ -156,11 +173,27 @@ func (nd *Node) MediumTo(dst DeviceID) (Medium, error) {
 	n := nd.net
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	peer, err := n.peerLocked(nd, dst)
+	if err != nil {
+		return nil, err
+	}
+	return n.links.DetachedPair(nd.idx, peer.idx)
+}
+
+// peerLocked resolves a destination ID against the joined-node table
+// with the taxonomy every pair lookup shares: ErrUnknownDevice for a
+// device that never joined, ErrBadDeviceID for the node itself (a
+// device cannot be its own peer — previously MediumTo(self) leaked a
+// raw internal "no link" error instead). Callers hold n.mu.
+func (n *Network) peerLocked(nd *Node, dst DeviceID) (*Node, error) {
 	peer, ok := n.nodes[dst]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownDevice, dst)
 	}
-	return n.links.DetachedPair(nd.idx, peer.idx)
+	if peer == nd {
+		return nil, fmt.Errorf("%w: node %d cannot pair with itself", ErrBadDeviceID, dst)
+	}
+	return peer, nil
 }
 
 // Send delivers one or two codebook messages to dst through the full
@@ -187,23 +220,30 @@ func (nd *Node) Send(ctx context.Context, dst DeviceID, msgs ...uint8) (SendResu
 	if len(msgs) == 2 {
 		second = msgs[1]
 	}
+	res, _, err := nd.sendWith(ctx, dst, relayCtx{}, nil, first, second)
+	return res, err
+}
 
+// sendWith is the full send machinery behind Send and the relay
+// layer: rc stamps stage events with the hop context, raw (when
+// non-nil) substitutes an arbitrary 16-bit payload for the codebook
+// pair, and endS reports when the final on-air attempt left the air
+// (the instant a store-and-forward relay can possess the payload).
+func (nd *Node) sendWith(ctx context.Context, dst DeviceID, rc relayCtx, raw *[2]byte, first, second uint8) (_ SendResult, endS float64, _ error) {
 	// One radio per device: a node's own Sends are serial; the
 	// conflict-graph scheduler (sched.go) orders it against the rest
 	// of the network.
 	nd.sendMu.Lock()
 	defer nd.sendMu.Unlock()
+	nd.relay = rc
+	defer func() { nd.relay = relayCtx{} }()
 
 	n := nd.net
 	n.mu.Lock()
-	peer, ok := n.nodes[dst]
-	if !ok {
+	peer, err := n.peerLocked(nd, dst)
+	if err != nil {
 		n.mu.Unlock()
-		return SendResult{}, fmt.Errorf("%w: %d", ErrUnknownDevice, dst)
-	}
-	if peer == nd {
-		n.mu.Unlock()
-		return SendResult{}, fmt.Errorf("%w: node %d cannot send to itself", ErrBadDeviceID, dst)
+		return SendResult{}, 0, err
 	}
 	var xmed phy.Medium
 	if n.bank != nil {
@@ -212,7 +252,7 @@ func (nd *Node) Send(ctx context.Context, dst DeviceID, msgs ...uint8) (SendResu
 		pair, err := n.links.Pair(nd.idx, peer.idx)
 		if err != nil {
 			n.mu.Unlock()
-			return SendResult{}, err
+			return SendResult{}, 0, err
 		}
 		xmed = pair
 	}
@@ -266,12 +306,18 @@ func (nd *Node) Send(ctx context.Context, dst DeviceID, msgs ...uint8) (SendResu
 		}
 	}()
 
-	res, err := nd.msgr.Send(xmed, dst, first, second, clock)
+	var res SendResult
+	if raw != nil {
+		res, err = nd.msgr.SendRaw(xmed, dst, *raw, clock)
+	} else {
+		res, err = nd.msgr.Send(xmed, dst, first, second, clock)
+	}
 	if res.Attempts > 0 && lastDurS > 0 {
 		// Advance past the last attempt's actual airtime.
+		endS = lastStartS + lastDurS
 		n.mu.Lock()
-		nd.clockS = lastStartS + lastDurS + interSendGapS
+		nd.clockS = endS + interSendGapS
 		n.mu.Unlock()
 	}
-	return res, err
+	return res, endS, err
 }

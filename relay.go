@@ -1,0 +1,243 @@
+package aquago
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// This file is the store-and-forward relay layer over routing
+// (route.go): walking a path hop by hop on the shared virtual
+// timeline. Every hop is a full carrier-sense Send — the relay
+// contends for the channel through the conflict-graph scheduler like
+// any other transmitter, and its forward cannot start before the
+// packet physically reached it (the previous hop's last attempt left
+// the air, plus a turnaround). Bulk transfer chunks an arbitrary
+// payload into the protocol's 16-bit packets; every packet of every
+// hop runs the full adaptive exchange, so the band re-adapts
+// per packet as the channel evolves — the AquaScope-style workload.
+
+// relayTurnaroundS is a relay's store-and-forward processing pause:
+// the gap between hearing a packet's last sample and being ready to
+// contend for the next hop (matches the protocol's inter-send gap).
+const relayTurnaroundS = interSendGapS
+
+// RelayResult reports one multi-hop message delivery (SendVia).
+type RelayResult struct {
+	// Path is the walked relay path (source first, destination last).
+	Path []DeviceID
+	// Hops holds the per-hop send results, in path order. On failure
+	// it covers the hops up to and including the failed one.
+	Hops []SendResult
+	// Attempts totals the physical transmission attempts across hops.
+	Attempts int
+	// DeliveredS is the virtual time the payload's last sample reached
+	// the destination (zero when the transfer died mid-path).
+	DeliveredS float64
+}
+
+// BulkResult reports a bulk payload transfer (SendBulk, SendBulkVia).
+type BulkResult struct {
+	// Path is the walked relay path (source first, destination last).
+	Path []DeviceID
+	// Packets is how many 2-byte protocol packets the payload split
+	// into; DeliveredPackets how many arrived end-to-end (a failed
+	// transfer stops at the first undeliverable packet).
+	Packets, DeliveredPackets int
+	// DeliveredBytes counts payload bytes that reached the
+	// destination; Received holds them, hop-conserved by
+	// construction: a hop only continues when its receiver's decode
+	// was bit-exact (phy.Result.Delivered), so a relay never forwards
+	// — and the destination never accumulates — corrupted bytes.
+	DeliveredBytes int
+	Received       []byte
+	// Attempts totals physical transmission attempts across all
+	// packets and hops.
+	Attempts int
+	// Bands records the band each delivered packet's final hop used —
+	// the per-packet re-adaptation trace (bands differ as the channel
+	// evolves between packets).
+	Bands []Band
+	// StartS/EndS bound the transfer on the virtual timeline: the
+	// source's clock when the transfer began, and the instant the last
+	// delivered packet reached the destination.
+	StartS, EndS float64
+}
+
+// validatePathLocked resolves an explicit relay path against the
+// joined-node table: at least two nodes, every ID joined
+// (ErrUnknownDevice), and no node visited twice (ErrBadPath — a
+// repeated relay is a routing loop). Audibility is deliberately NOT
+// enforced: an explicit path is the caller's override, and a hop
+// beyond the carrier-sense range simply behaves like the real thing
+// (the MAC cannot defer to it, the receiver probably cannot decode
+// it). Callers hold n.mu.
+func (n *Network) validatePathLocked(path []DeviceID) ([]*Node, error) {
+	if len(path) < 2 {
+		return nil, fmt.Errorf("%w: need source and destination, got %d node(s)", ErrBadPath, len(path))
+	}
+	nodes := make([]*Node, len(path))
+	seen := make(map[DeviceID]bool, len(path))
+	for i, id := range path {
+		nd, ok := n.nodes[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d (hop %d of path %v)", ErrUnknownDevice, id, i, path)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("%w: node %d repeats in %v", ErrBadPath, id, path)
+		}
+		seen[id] = true
+		nodes[i] = nd
+	}
+	return nodes, nil
+}
+
+// resolvePath validates an explicit path and returns its nodes.
+func (n *Network) resolvePath(path []DeviceID) ([]*Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.validatePathLocked(path)
+}
+
+// hopFailed decides whether a hop send left the payload at the next
+// node. The store-and-forward criterion is possession, not
+// acknowledgment: a hop whose every attempt went unACKed but whose
+// payload decoded (ErrNoACK with Delivered — the two-generals cost)
+// still armed the relay, so the transfer continues.
+func hopFailed(res SendResult, err error) error {
+	switch {
+	case err != nil && !errors.Is(err, ErrNoACK):
+		return err
+	case !res.Delivered:
+		if err != nil {
+			return err
+		}
+		return ErrNoACK
+	}
+	return nil
+}
+
+// SendVia delivers one or two codebook messages along an explicit
+// relay path: path[0] transmits to path[1], which stores and forwards
+// to path[2], and so on, each hop re-entering the carrier-sense MAC
+// on the shared virtual timeline (a relay cannot contend before the
+// packet physically reached it). Stage events carry the hop context
+// (StageEvent.Hop/PathHops), so a Trace sees the transfer walk the
+// path in order.
+//
+// Path errors wrap ErrBadPath/ErrUnknownDevice. A hop failure returns
+// a *RelayError naming the hop, wrapping the hop's own error
+// (ErrNoACK, ErrChannelBusy, a cancelled context, ...); the returned
+// RelayResult still describes the hops that ran. Use Route to compute
+// a path, or Node.SendBulk for the automatic bulk flavor.
+func (n *Network) SendVia(ctx context.Context, path []DeviceID, msgs ...uint8) (RelayResult, error) {
+	if len(msgs) < 1 || len(msgs) > 2 {
+		return RelayResult{}, fmt.Errorf("%w: send carries 1 or 2 messages, got %d", ErrBadMessage, len(msgs))
+	}
+	first := msgs[0]
+	second := uint8(NoMessage)
+	if len(msgs) == 2 {
+		second = msgs[1]
+	}
+	nodes, err := n.resolvePath(path)
+	if err != nil {
+		return RelayResult{}, err
+	}
+	out := RelayResult{Path: append([]DeviceID(nil), path...)}
+	hops := len(path) - 1
+	for h := 0; h < hops; h++ {
+		rc := relayCtx{hop: h, pathHops: hops}
+		res, endS, err := nodes[h].sendWith(ctx, path[h+1], rc, nil, first, second)
+		out.Hops = append(out.Hops, res)
+		out.Attempts += res.Attempts
+		if ferr := hopFailed(res, err); ferr != nil {
+			return out, &RelayError{Hop: h, From: path[h], To: path[h+1], Path: out.Path, Err: ferr}
+		}
+		if h+1 < hops {
+			// The next relay possesses the payload once the last
+			// attempt's final sample arrived; it may contend after a
+			// turnaround.
+			nodes[h+1].AdvanceClock(endS + relayTurnaroundS)
+		} else {
+			out.DeliveredS = endS
+		}
+	}
+	return out, nil
+}
+
+// SendBulkVia transfers an arbitrary payload along an explicit relay
+// path: the payload chunks into 2-byte protocol packets, and each
+// packet store-and-forwards down the path — every hop a full adaptive
+// exchange (fresh SNR estimate, fresh band), so the transfer
+// re-adapts per packet and per hop. A relay forwards a packet only
+// once its own receiver decoded it bit-exactly, so payload bytes are
+// conserved hop to hop. Stage events carry both the hop and the
+// packet context (StageEvent.BulkPkt/BulkPkts).
+//
+// Odd-length payloads pad the final packet on the air; the pad byte
+// never reaches Received. Errors follow SendVia's contract, with
+// RelayError.Pkt naming the packet the path died on; the BulkResult
+// reports everything delivered before that.
+func (n *Network) SendBulkVia(ctx context.Context, path []DeviceID, payload []byte) (BulkResult, error) {
+	nodes, err := n.resolvePath(path)
+	if err != nil {
+		return BulkResult{}, err
+	}
+	if len(payload) == 0 {
+		return BulkResult{}, fmt.Errorf("%w: empty bulk payload", ErrBadMessage)
+	}
+	out := BulkResult{
+		Path:    append([]DeviceID(nil), path...),
+		Packets: (len(payload) + 1) / 2,
+		StartS:  nodes[0].ClockS(),
+	}
+	hops := len(path) - 1
+	for p := 0; p < out.Packets; p++ {
+		chunk := [2]byte{payload[2*p], 0}
+		padded := 2*p+2 > len(payload) // odd tail: second byte is padding
+		if !padded {
+			chunk[1] = payload[2*p+1]
+		}
+		for h := 0; h < hops; h++ {
+			rc := relayCtx{hop: h, pathHops: hops, bulkPkt: p, bulkPkts: out.Packets}
+			res, endS, err := nodes[h].sendWith(ctx, path[h+1], rc, &chunk, 0, 0)
+			out.Attempts += res.Attempts
+			if ferr := hopFailed(res, err); ferr != nil {
+				return out, &RelayError{Hop: h, From: path[h], To: path[h+1], Path: out.Path, Pkt: p, Err: ferr}
+			}
+			// The relay now possesses the chunk byte-exactly: a hop only
+			// continues when some attempt *delivered*, and Delivered is
+			// defined as a zero-bit-error decode (phy.Result), so
+			// conservation holds hop to hop by construction. Each
+			// attempt's raw decode — dirty ones included — is available
+			// for audit on Result.Decoded.
+			if h+1 < hops {
+				nodes[h+1].AdvanceClock(endS + relayTurnaroundS)
+			} else {
+				out.EndS = endS
+				out.Bands = append(out.Bands, res.Last.Band)
+			}
+		}
+		out.DeliveredPackets++
+		out.Received = append(out.Received, chunk[0])
+		out.DeliveredBytes++
+		if !padded {
+			out.Received = append(out.Received, chunk[1])
+			out.DeliveredBytes++
+		}
+	}
+	return out, nil
+}
+
+// SendBulk transfers an arbitrary payload to dst over the network's
+// routed relay path (Route under the WithRouting policy; the direct
+// single hop when dst is audible and the policy favors it). See
+// SendBulkVia for the transfer semantics and error contract; routing
+// failures additionally wrap ErrNoRoute.
+func (nd *Node) SendBulk(ctx context.Context, dst DeviceID, payload []byte) (BulkResult, error) {
+	path, err := nd.net.Route(nd.id, dst)
+	if err != nil {
+		return BulkResult{}, err
+	}
+	return nd.net.SendBulkVia(ctx, path, payload)
+}

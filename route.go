@@ -1,0 +1,255 @@
+package aquago
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the network's routing layer: it turns node geometry and
+// per-pair channel quality into relay paths. The paper's protocol is
+// single-hop by construction (one MAC, one collision domain), but its
+// own range results — tens of meters of working range against
+// hundreds of meters of deployment — make relaying the obvious scaling
+// move. Routing runs entirely above the MAC: a chosen path is walked
+// hop by hop by the relay layer (relay.go), and every hop re-enters
+// the carrier-sense MAC and the conflict-graph scheduler like any
+// other Send.
+//
+// The link graph is the *audibility* graph: a directed edge exists
+// between two nodes exactly when they sit within the carrier-sense
+// range (WithCSRange; an unlimited range connects everything, so
+// routing degenerates to the direct path). That bound is the honest
+// one — it is both how far carrier sense coordinates transmitters and
+// how far waveform-mode interference reaches, so a hop outside it
+// could neither defer to nor be heard by its receiver's neighborhood.
+
+// RoutingPolicy selects how WithRouting picks relay paths.
+type RoutingPolicy int
+
+const (
+	// MinHop routes over the fewest hops, breaking ties by total
+	// geometric path length and then by node index — fully determined
+	// by node geometry.
+	MinHop RoutingPolicy = iota
+	// MinETX routes by minimum expected transmission count: each hop
+	// is weighted by 1/(p_fwd * p_bwd), delivery probabilities derived
+	// from the pair's channel quality (impulse-response energy over
+	// ambient noise, the same seeded realization exchanges use — see
+	// sim.Links.PairSNRdB). A marginal long hop loses to two clean
+	// short ones exactly when its expected retransmissions cost more.
+	MinETX
+)
+
+// String names the policy for logs.
+func (p RoutingPolicy) String() string {
+	switch p {
+	case MinHop:
+		return "min-hop"
+	case MinETX:
+		return "min-etx"
+	}
+	return fmt.Sprintf("RoutingPolicy(%d)", int(p))
+}
+
+// WithRouting selects the path-selection policy used by Network.Route
+// and the automatic-path entry points (Node.SendBulk). The default is
+// MinHop; MinETX additionally weighs per-pair channel quality.
+func WithRouting(policy RoutingPolicy) NetworkOption {
+	return func(c *networkConfig) { c.routing = policy }
+}
+
+// ETX delivery-probability model: a logistic in the pair's estimated
+// in-band SNR. The midpoint and scale are calibrated against the
+// channel simulator's working range (comfortable delivery at the
+// paper's 5-10 m spacings, graded decay towards ~100 m), and the
+// floor keeps a terrible-but-audible hop finitely expensive so MinETX
+// still returns *a* path when nothing better exists.
+const (
+	etxMidSNRdB   = 8.0
+	etxScaleSNRdB = 4.0
+	etxFloorP     = 0.01
+)
+
+// hopProbability maps a directed link's estimated SNR onto a delivery
+// probability in [etxFloorP, 1].
+func hopProbability(snrDB float64) float64 {
+	if math.IsInf(snrDB, 1) {
+		return 1
+	}
+	p := 1 / (1 + math.Exp(-(snrDB-etxMidSNRdB)/etxScaleSNRdB))
+	if p < etxFloorP {
+		p = etxFloorP
+	}
+	return p
+}
+
+// Route computes a relay path from src to dst under the network's
+// routing policy (WithRouting; MinHop by default): the returned slice
+// starts at src, ends at dst, visits no node twice, and every
+// consecutive pair is audible (within the carrier-sense range — with
+// an unlimited range this is always the direct [src dst] path).
+// Unknown endpoints return ErrUnknownDevice, src == dst returns
+// ErrBadDeviceID, and a partitioned audibility graph returns
+// ErrNoRoute. Paths and edge weights are cached per geometry (joins
+// invalidate), so repeated sends pay for one shortest-path run.
+func (n *Network) Route(src, dst DeviceID) ([]DeviceID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	from, ok := n.nodes[src]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownDevice, src)
+	}
+	to, err := n.peerLocked(from, dst)
+	if err != nil {
+		return nil, err
+	}
+	idxPath, err := n.routeLocked(from.idx, to.idx)
+	if err != nil {
+		return nil, err
+	}
+	path := make([]DeviceID, len(idxPath))
+	for i, idx := range idxPath {
+		path[i] = n.order[idx].id
+	}
+	return path, nil
+}
+
+// audibleLocked reports whether nodes i and j can hear each other:
+// within the carrier-sense range, or always when the range is
+// unlimited. Callers hold n.mu.
+func (n *Network) audibleLocked(i, j int) bool {
+	if i == j {
+		return false
+	}
+	r := n.cfg.csRangeM
+	if r <= 0 {
+		return true
+	}
+	return n.order[i].pos.DistanceTo(n.order[j].pos) <= r
+}
+
+// hopWeightLocked returns the policy cost of the directed hop
+// u -> v. MinHop charges 1 per hop; MinETX charges the expected
+// transmission count 1/(p_fwd * p_bwd) — data rides the forward
+// link, the ACK the backward one. ETX weights are cached per pair
+// (the realization is seeded, so the quality never changes under a
+// fixed geometry). Callers hold n.mu.
+func (n *Network) hopWeightLocked(u, v int) (float64, error) {
+	if n.cfg.routing != MinETX {
+		return 1, nil
+	}
+	key := [2]int{u, v}
+	if w, ok := n.etxCache[key]; ok {
+		return w, nil
+	}
+	fwd, bwd, err := n.links.PairSNRdB(u, v)
+	if err != nil {
+		return 0, err
+	}
+	w := 1 / (hopProbability(fwd) * hopProbability(bwd))
+	if n.etxCache == nil {
+		n.etxCache = make(map[[2]int]float64)
+	}
+	n.etxCache[key] = w
+	// The reverse hop multiplies the same two link probabilities.
+	n.etxCache[[2]int{v, u}] = w
+	return w, nil
+}
+
+// routeLocked runs deterministic Dijkstra on the audibility graph
+// from node index src to dst. Ties break by (cost, hop count, total
+// geometric length, node index), so the chosen path is a pure
+// function of geometry and seeds — independent of map iteration
+// order, worker counts and wall-clock interleaving. Callers hold
+// n.mu.
+func (n *Network) routeLocked(src, dst int) ([]int, error) {
+	key := [2]int{src, dst}
+	if p, ok := n.routeCache[key]; ok {
+		return p, nil
+	}
+	const unreached = math.MaxFloat64
+	nn := len(n.order)
+	cost := make([]float64, nn)
+	hops := make([]int, nn)
+	lenM := make([]float64, nn)
+	prev := make([]int, nn)
+	done := make([]bool, nn)
+	for i := range cost {
+		cost[i] = unreached
+		prev[i] = -1
+	}
+	cost[src], hops[src], lenM[src] = 0, 0, 0
+
+	better := func(c float64, h int, l float64, at int, than int) bool {
+		switch {
+		case c != cost[than]:
+			return c < cost[than]
+		case h != hops[than]:
+			return h < hops[than]
+		case l != lenM[than]:
+			return l < lenM[than]
+		}
+		return at < prev[than]
+	}
+	for {
+		// Linear extraction keeps the selection order total: the
+		// smallest (cost, hops, length, index) unsettled node wins. At
+		// the network's 60-node cap, O(n^2) is noise next to one
+		// exchange.
+		u := -1
+		for i := 0; i < nn; i++ {
+			if done[i] || cost[i] == unreached {
+				continue
+			}
+			if u < 0 || cost[i] < cost[u] ||
+				(cost[i] == cost[u] && (hops[i] < hops[u] ||
+					(hops[i] == hops[u] && (lenM[i] < lenM[u] ||
+						(lenM[i] == lenM[u] && i < u))))) {
+				u = i
+			}
+		}
+		if u < 0 || u == dst {
+			break
+		}
+		done[u] = true
+		for v := 0; v < nn; v++ {
+			if done[v] || !n.audibleLocked(u, v) {
+				continue
+			}
+			w, err := n.hopWeightLocked(u, v)
+			if err != nil {
+				return nil, err
+			}
+			c := cost[u] + w
+			h := hops[u] + 1
+			l := lenM[u] + n.order[u].pos.DistanceTo(n.order[v].pos)
+			if c < cost[v] || (c == cost[v] && better(c, h, l, u, v)) {
+				cost[v], hops[v], lenM[v], prev[v] = c, h, l, u
+			}
+		}
+	}
+	if cost[dst] == unreached {
+		return nil, fmt.Errorf("%w: %d -> %d (carrier-sense range %g m)",
+			ErrNoRoute, n.order[src].id, n.order[dst].id, n.cfg.csRangeM)
+	}
+	var path []int
+	for at := dst; at != -1; at = prev[at] {
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	if n.routeCache == nil {
+		n.routeCache = make(map[[2]int][]int)
+	}
+	n.routeCache[key] = path
+	return path, nil
+}
+
+// invalidateRoutesLocked drops the route and ETX caches; Join calls
+// it, since new nodes add edges (quality never changes otherwise —
+// positions are fixed at Join). Callers hold n.mu.
+func (n *Network) invalidateRoutesLocked() {
+	n.routeCache = nil
+	n.etxCache = nil
+}

@@ -1,0 +1,216 @@
+package aquago_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aquago"
+)
+
+// scatterNet joins n nodes at seeded random positions inside a
+// box-shaped site, so route properties are exercised on irregular
+// geometry rather than hand-picked lines.
+func scatterNet(t *testing.T, n int, boxM float64, seed int64, opts ...aquago.NetworkOption) (*aquago.Network, []aquago.Position) {
+	t.Helper()
+	net, err := aquago.NewNetwork(aquago.Bridge,
+		append([]aquago.NetworkOption{aquago.WithNetworkSeed(seed)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed * 7577))
+	positions := make([]aquago.Position, n)
+	for i := range positions {
+		positions[i] = aquago.Position{X: rng.Float64() * boxM, Y: rng.Float64() * boxM, Z: 1}
+		if _, err := net.Join(aquago.DeviceID(i), positions[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, positions
+}
+
+// audible mirrors the routing layer's edge rule for verification.
+func audible(pos []aquago.Position, i, j int, csRangeM float64) bool {
+	if i == j {
+		return false
+	}
+	return csRangeM <= 0 || pos[i].DistanceTo(pos[j]) <= csRangeM
+}
+
+// bfsHops returns the audibility-graph hop distance from src to every
+// node (-1 = unreachable) — the independent oracle min-hop routes are
+// checked against.
+func bfsHops(pos []aquago.Position, src int, csRangeM float64) []int {
+	dist := make([]int, len(pos))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range pos {
+			if dist[v] == -1 && audible(pos, u, v, csRangeM) {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// TestRouteSelectionProperties is the routing property suite: on
+// seeded random geometries, for both policies and every ordered node
+// pair, a returned path must start and end at the endpoints, repeat
+// no node (acyclic), keep every hop within carrier-sense audibility,
+// and agree with an independent BFS about reachability; min-hop paths
+// must additionally be hop-optimal. The same network built with
+// Workers:1 and Workers:8 must route identically — path selection is
+// a pure function of geometry and seeds, never of scheduling.
+func TestRouteSelectionProperties(t *testing.T) {
+	const (
+		nodes    = 9
+		boxM     = 120
+		csRangeM = 45
+	)
+	for _, policy := range []aquago.RoutingPolicy{aquago.MinHop, aquago.MinETX} {
+		for _, seed := range []int64{1, 5, 9} {
+			net1, pos := scatterNet(t, nodes, boxM, seed,
+				aquago.WithCSRange(csRangeM), aquago.WithRouting(policy), aquago.WithNetworkWorkers(1))
+			netN, _ := scatterNet(t, nodes, boxM, seed,
+				aquago.WithCSRange(csRangeM), aquago.WithRouting(policy), aquago.WithNetworkWorkers(8))
+			for src := 0; src < nodes; src++ {
+				hops := bfsHops(pos, src, csRangeM)
+				for dst := 0; dst < nodes; dst++ {
+					if src == dst {
+						continue
+					}
+					path, err := net1.Route(aquago.DeviceID(src), aquago.DeviceID(dst))
+					pathN, errN := netN.Route(aquago.DeviceID(src), aquago.DeviceID(dst))
+					if (err == nil) != (errN == nil) || !reflect.DeepEqual(path, pathN) {
+						t.Fatalf("%v seed %d %d->%d: Workers:1 and Workers:8 disagree: %v/%v vs %v/%v",
+							policy, seed, src, dst, path, err, pathN, errN)
+					}
+					if err != nil {
+						if !errors.Is(err, aquago.ErrNoRoute) {
+							t.Fatalf("%v seed %d %d->%d: %v", policy, seed, src, dst, err)
+						}
+						if hops[dst] != -1 {
+							t.Fatalf("%v seed %d %d->%d: ErrNoRoute but BFS reaches in %d hops", policy, seed, src, dst, hops[dst])
+						}
+						continue
+					}
+					if hops[dst] == -1 {
+						t.Fatalf("%v seed %d %d->%d: routed %v across a partition", policy, seed, src, dst, path)
+					}
+					if path[0] != aquago.DeviceID(src) || path[len(path)-1] != aquago.DeviceID(dst) {
+						t.Fatalf("%v seed %d %d->%d: path endpoints wrong: %v", policy, seed, src, dst, path)
+					}
+					seen := map[aquago.DeviceID]bool{}
+					for _, id := range path {
+						if seen[id] {
+							t.Fatalf("%v seed %d %d->%d: path revisits node %d: %v", policy, seed, src, dst, id, path)
+						}
+						seen[id] = true
+					}
+					for h := 0; h+1 < len(path); h++ {
+						if !audible(pos, int(path[h]), int(path[h+1]), csRangeM) {
+							t.Fatalf("%v seed %d %d->%d: hop %d of %v exceeds the %g m carrier-sense range",
+								policy, seed, src, dst, h, path, float64(csRangeM))
+						}
+					}
+					if policy == aquago.MinHop && len(path)-1 != hops[dst] {
+						t.Fatalf("seed %d %d->%d: min-hop path %v has %d hops, BFS says %d",
+							seed, src, dst, path, len(path)-1, hops[dst])
+					}
+					// Routing must be stable call to call (cache or not).
+					again, err := net1.Route(aquago.DeviceID(src), aquago.DeviceID(dst))
+					if err != nil || !reflect.DeepEqual(path, again) {
+						t.Fatalf("%v seed %d %d->%d: route not stable: %v then %v (%v)", policy, seed, src, dst, path, again, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteUnlimitedRangeIsDirect: with unlimited carrier-sense range
+// every pair is audible, so routing degenerates to the direct path.
+func TestRouteUnlimitedRangeIsDirect(t *testing.T) {
+	net, _ := scatterNet(t, 5, 60, 3)
+	path, err := net.Route(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(path, []aquago.DeviceID{0, 4}) {
+		t.Fatalf("unlimited range routed %v, want the direct [0 4]", path)
+	}
+}
+
+// TestRouteErrors pins the routing slice of the error taxonomy.
+func TestRouteErrors(t *testing.T) {
+	// Two nodes 500 m apart with a 30 m carrier-sense range: a
+	// partitioned audibility graph.
+	net, err := aquago.NewNetwork(aquago.Bridge, aquago.WithCSRange(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(0, aquago.Position{X: 0, Z: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join(1, aquago.Position{X: 500, Z: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Route(0, 1); !errors.Is(err, aquago.ErrNoRoute) {
+		t.Fatalf("partitioned graph: %v, want ErrNoRoute", err)
+	}
+	if _, err := net.Route(0, 42); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("unknown destination: %v, want ErrUnknownDevice", err)
+	}
+	if _, err := net.Route(42, 0); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("unknown source: %v, want ErrUnknownDevice", err)
+	}
+	if _, err := net.Route(0, 0); !errors.Is(err, aquago.ErrBadDeviceID) {
+		t.Fatalf("self route: %v, want ErrBadDeviceID", err)
+	}
+}
+
+// TestPairLookupErrorConsistency audits every pair-resolving surface
+// for the same taxonomy: a never-joined device is ErrUnknownDevice
+// everywhere — MediumTo, Send, Route, SendVia, SendBulkVia — and a
+// self-pair is ErrBadDeviceID (MediumTo(self) used to leak a raw
+// internal "no link" error instead of a typed one).
+func TestPairLookupErrorConsistency(t *testing.T) {
+	net, _ := scatterNet(t, 3, 20, 3)
+	a, ok := net.Node(0)
+	if !ok {
+		t.Fatal("node 0 missing")
+	}
+	ctx := context.Background()
+	okMsg, _ := aquago.LookupMessage("OK?")
+
+	if _, err := a.MediumTo(42); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("MediumTo stranger: %v", err)
+	}
+	if _, err := a.MediumTo(a.ID()); !errors.Is(err, aquago.ErrBadDeviceID) {
+		t.Fatalf("MediumTo self: %v, want ErrBadDeviceID", err)
+	}
+	if _, err := a.Send(ctx, 42, okMsg.ID); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("Send stranger: %v", err)
+	}
+	if _, err := net.Route(0, 42); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("Route stranger: %v", err)
+	}
+	if _, err := net.SendVia(ctx, []aquago.DeviceID{0, 42}, okMsg.ID); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("SendVia stranger: %v", err)
+	}
+	if _, err := net.SendBulkVia(ctx, []aquago.DeviceID{0, 42}, []byte("hi")); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("SendBulkVia stranger: %v", err)
+	}
+	if _, err := a.SendBulk(ctx, 42, []byte("hi")); !errors.Is(err, aquago.ErrUnknownDevice) {
+		t.Fatalf("SendBulk stranger: %v", err)
+	}
+}
