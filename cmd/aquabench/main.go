@@ -12,6 +12,7 @@
 //	aquabench -exp fig09,fig12 [-packets 100] [-seed 1] [-workers 0]
 //	aquabench -macload [-quick] [-json]
 //	aquabench -multihop [-quick] [-json]
+//	aquabench -scale [-quick] [-json]
 //	aquabench -all [-quick] [-json] [-out BENCH_exp.json] [-diff BENCH_exp.json]
 //
 // -workers sizes the parallel experiment engine (0 = one worker per
@@ -21,9 +22,11 @@
 // performance trajectory across PRs. When the output file already
 // exists, experiments not re-run this invocation are carried over, so
 // `-macload -json` merges its block into a full BENCH_exp.json
-// instead of truncating it. -diff compares every goodput series
-// against a reference bench file and exits non-zero on a > 15 %
-// regression (the CI bench job's gate).
+// instead of truncating it. -diff compares every throughput series —
+// goodput and the scale harness's committed exchanges per wall-second
+// — against a reference bench file and exits non-zero on a > 15 %
+// regression (the CI bench job's gate). -scale runs the harbor
+// build-out sweep (250 to 10k nodes; quick mode stops at 1k).
 package main
 
 import (
@@ -44,9 +47,10 @@ import (
 // not overflow.
 const maxSeed = math.MaxInt64 / 2
 
-// goodputRegressionTolerance is how far a goodput point may fall below
-// the -diff reference before the run fails.
-const goodputRegressionTolerance = 0.15
+// throughputRegressionTolerance is how far a gated throughput point
+// (goodput, committed exchanges per wall-second) may fall below the
+// -diff reference before the run fails.
+const throughputRegressionTolerance = 0.15
 
 // benchExperiment is one experiment's entry in the -json output.
 type benchExperiment struct {
@@ -69,16 +73,17 @@ type benchFile struct {
 	Experiments []benchExperiment `json:"experiments"`
 }
 
-// macloadIDs / multihopIDs are the experiments the shorthand flags
-// select.
+// macloadIDs / multihopIDs / scaleIDs are the experiments the
+// shorthand flags select.
 var (
 	macloadIDs  = []string{"macload", "macsir"}
 	multihopIDs = []string{"multihop"}
+	scaleIDs    = []string{"scale"}
 )
 
 // selectExperiments resolves the selection flags into experiment IDs,
 // de-duplicated in run order.
-func selectExperiments(all, macload, multihop bool, ids string) ([]string, error) {
+func selectExperiments(all, macload, multihop, scale bool, ids string) ([]string, error) {
 	var selected []string
 	switch {
 	case all:
@@ -94,8 +99,11 @@ func selectExperiments(all, macload, multihop bool, ids string) ([]string, error
 	if multihop {
 		selected = append(selected, multihopIDs...)
 	}
+	if scale {
+		selected = append(selected, scaleIDs...)
+	}
 	if len(selected) == 0 {
-		return nil, errors.New("pass -all, -exp id[,id...], -macload, -multihop or -list")
+		return nil, errors.New("pass -all, -exp id[,id...], -macload, -multihop, -scale or -list")
 	}
 	seen := make(map[string]bool, len(selected))
 	out := selected[:0]
@@ -166,28 +174,36 @@ func mergeBench(prev, cur benchFile) benchFile {
 	return cur
 }
 
-// diffGoodput compares every goodput series of cur against ref and
-// reports the points that regressed by more than tol (relative).
-// Points are matched by series name AND X value (the offered load), so
-// a baseline generated at a different sweep scale gates only the load
-// points both runs measured instead of comparing unrelated loads by
-// index. A series or experiment absent from ref is skipped — new
-// coverage is not a regression — but an experiment cur re-ran must
-// still carry *some* goodput series wherever ref had one, so the gate
-// cannot be dodged by dropping the block (experiments not selected
-// this invocation are exempt: a partial run only gates what it
-// measured).
-func diffGoodput(ref, cur benchFile, tol float64) error {
+// gatedSeries reports whether a series name is throughput-gated by
+// -diff: the goodput sweeps, plus the scale harness's committed
+// exchanges per wall-second (the 1k-10k-node admission/routing hot
+// path — a spatial-index regression shows up here first).
+func gatedSeries(name string) bool {
+	return strings.Contains(name, "goodput") || strings.Contains(name, "committed exchanges")
+}
+
+// diffThroughput compares every gated throughput series of cur against
+// ref and reports the points that regressed by more than tol
+// (relative). Points are matched by series name AND X value (the
+// offered load or node count), so a baseline generated at a different
+// sweep scale gates only the points both runs measured instead of
+// comparing unrelated loads by index. A series or experiment absent
+// from ref is skipped — new coverage is not a regression — but an
+// experiment cur re-ran must still carry *some* gated series wherever
+// ref had one, so the gate cannot be dodged by dropping the block
+// (experiments not selected this invocation are exempt: a partial run
+// only gates what it measured).
+func diffThroughput(ref, cur benchFile, tol float64) error {
 	type refSeries struct {
 		expID  string
 		byX    map[float64]float64
 		series exp.Series
 	}
 	refs := make(map[string]refSeries)
-	goodputExps := make(map[string]bool)
+	gatedExps := make(map[string]bool)
 	for _, e := range ref.Experiments {
 		for _, s := range e.Report.Series {
-			if !strings.Contains(s.Name, "goodput") {
+			if !gatedSeries(s.Name) {
 				continue
 			}
 			byX := make(map[float64]float64, len(s.X))
@@ -195,20 +211,20 @@ func diffGoodput(ref, cur benchFile, tol float64) error {
 				byX[s.X[i]] = s.Y[i]
 			}
 			refs[e.ID+"/"+s.Name] = refSeries{expID: e.ID, byX: byX, series: s}
-			goodputExps[e.ID] = true
+			gatedExps[e.ID] = true
 		}
 	}
 	if len(refs) == 0 {
-		return nil // reference predates the goodput block
+		return nil // reference predates the throughput blocks
 	}
 	var problems []string
-	curGoodputExps := make(map[string]bool)
+	curGatedExps := make(map[string]bool)
 	for _, e := range cur.Experiments {
 		for _, s := range e.Report.Series {
-			if !strings.Contains(s.Name, "goodput") {
+			if !gatedSeries(s.Name) {
 				continue
 			}
-			curGoodputExps[e.ID] = true
+			curGatedExps[e.ID] = true
 			rs, ok := refs[e.ID+"/"+s.Name]
 			if !ok {
 				continue
@@ -227,13 +243,13 @@ func diffGoodput(ref, cur benchFile, tol float64) error {
 		}
 	}
 	for _, e := range cur.Experiments {
-		if goodputExps[e.ID] && !curGoodputExps[e.ID] {
+		if gatedExps[e.ID] && !curGatedExps[e.ID] {
 			problems = append(problems, fmt.Sprintf(
-				"%s: reference has goodput series but this run produced none", e.ID))
+				"%s: reference has throughput series but this run produced none", e.ID))
 		}
 	}
 	if len(problems) > 0 {
-		return fmt.Errorf("goodput regressed beyond %.0f%% vs reference:\n  %s",
+		return fmt.Errorf("throughput regressed beyond %.0f%% vs reference:\n  %s",
 			100*tol, strings.Join(problems, "\n  "))
 	}
 	return nil
@@ -245,13 +261,14 @@ func main() {
 	ids := flag.String("exp", "", "comma-separated experiment IDs")
 	macload := flag.Bool("macload", false, "run the MAC goodput sweep and capture-effect SIR study (macload, macsir)")
 	multihop := flag.Bool("multihop", false, "run the multi-hop relay study (multihop)")
+	scale := flag.Bool("scale", false, "run the 1k-10k-node harbor build-out sweep (scale)")
 	packets := flag.Int("packets", 0, "packets per measurement point (0 = default 100)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "write per-experiment timings and series as JSON")
 	outPath := flag.String("out", "BENCH_exp.json", "output path for -json")
-	diffPath := flag.String("diff", "", "reference bench file; exit non-zero if any goodput series regresses > 15%")
+	diffPath := flag.String("diff", "", "reference bench file; exit non-zero if any throughput series regresses > 15%")
 	flag.Parse()
 
 	if *list {
@@ -264,7 +281,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(2)
 	}
-	selected, err := selectExperiments(*all, *macload, *multihop, *ids)
+	selected, err := selectExperiments(*all, *macload, *multihop, *scale, *ids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(2)
@@ -336,11 +353,11 @@ func main() {
 			*outPath, len(outBench.Experiments), bench.TotalMS)
 	}
 	if refBench != nil {
-		if err := diffGoodput(*refBench, bench, goodputRegressionTolerance); err != nil {
+		if err := diffThroughput(*refBench, bench, throughputRegressionTolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "aquabench:", err)
 			failed = true
 		} else {
-			fmt.Printf("goodput within %.0f%% of %s\n", 100*goodputRegressionTolerance, *diffPath)
+			fmt.Printf("throughput within %.0f%% of %s\n", 100*throughputRegressionTolerance, *diffPath)
 		}
 	}
 	if failed {

@@ -10,24 +10,27 @@ import (
 
 func TestSelectExperiments(t *testing.T) {
 	cases := []struct {
-		name                   string
-		all, macload, multihop bool
-		ids                    string
-		want                   []string
-		wantErr                string
+		name                          string
+		all, macload, multihop, scale bool
+		ids                           string
+		want                          []string
+		wantErr                       string
 	}{
 		{name: "nothing selected", wantErr: "pass -all"},
 		{name: "macload shorthand", macload: true, want: []string{"macload", "macsir"}},
 		{name: "multihop shorthand", multihop: true, want: []string{"multihop"}},
+		{name: "scale shorthand", scale: true, want: []string{"scale"}},
 		{name: "explicit ids", ids: "fig09, fig12", want: []string{"fig09", "fig12"}},
 		{name: "ids plus macload", ids: "fig09", macload: true, want: []string{"fig09", "macload", "macsir"}},
 		{name: "macload deduplicates", ids: "macload", macload: true, want: []string{"macload", "macsir"}},
-		{name: "both shorthands", macload: true, multihop: true, want: []string{"macload", "macsir", "multihop"}},
+		{name: "all shorthands", macload: true, multihop: true, scale: true,
+			want: []string{"macload", "macsir", "multihop", "scale"}},
 		{name: "multihop deduplicates", ids: "multihop", multihop: true, want: []string{"multihop"}},
+		{name: "scale deduplicates", ids: "scale", scale: true, want: []string{"scale"}},
 		{name: "empty id", ids: "fig09,,fig12", wantErr: "empty experiment ID"},
 	}
 	for _, tc := range cases {
-		got, err := selectExperiments(tc.all, tc.macload, tc.multihop, tc.ids)
+		got, err := selectExperiments(tc.all, tc.macload, tc.multihop, tc.scale, tc.ids)
 		switch {
 		case tc.wantErr != "":
 			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
@@ -49,8 +52,8 @@ func TestSelectExperiments(t *testing.T) {
 		}
 	}
 	// -all must include the new experiments (the bench job relies on
-	// one invocation covering every goodput block).
-	all, err := selectExperiments(true, false, false, "")
+	// one invocation covering every gated throughput block).
+	all, err := selectExperiments(true, false, false, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,8 +61,8 @@ func TestSelectExperiments(t *testing.T) {
 	for _, id := range all {
 		found[id] = true
 	}
-	if !found["macload"] || !found["macsir"] || !found["multihop"] {
-		t.Fatalf("-all selection %v is missing macload/macsir/multihop", all)
+	if !found["macload"] || !found["macsir"] || !found["multihop"] || !found["scale"] {
+		t.Fatalf("-all selection %v is missing macload/macsir/multihop/scale", all)
 	}
 }
 
@@ -130,30 +133,30 @@ func TestMergeBenchCarriesUnrunExperiments(t *testing.T) {
 	}
 }
 
-func TestDiffGoodput(t *testing.T) {
+func TestDiffThroughput(t *testing.T) {
 	ref := fileWith(entry("macload",
 		goodputSeries("goodput N=5 envelope energy-cs", 10, 20, 30),
 		exp.Series{Name: "latency p90 N=5", Y: []float64{1, 2, 3}},
 	))
 
 	// Identical run passes.
-	if err := diffGoodput(ref, ref, 0.15); err != nil {
+	if err := diffThroughput(ref, ref, 0.15); err != nil {
 		t.Fatalf("identical runs flagged: %v", err)
 	}
-	// Within tolerance passes; non-goodput series are ignored even
-	// when they collapse.
+	// Within tolerance passes; ungated series are ignored even when
+	// they collapse.
 	ok := fileWith(entry("macload",
 		goodputSeries("goodput N=5 envelope energy-cs", 9, 17.5, 27),
 		exp.Series{Name: "latency p90 N=5", Y: []float64{100, 200, 300}},
 	))
-	if err := diffGoodput(ref, ok, 0.15); err != nil {
+	if err := diffThroughput(ref, ok, 0.15); err != nil {
 		t.Fatalf("within-tolerance run flagged: %v", err)
 	}
 	// A > 15% drop on any point fails and names the load point.
 	bad := fileWith(entry("macload",
 		goodputSeries("goodput N=5 envelope energy-cs", 10, 15, 30),
 	))
-	err := diffGoodput(ref, bad, 0.15)
+	err := diffThroughput(ref, bad, 0.15)
 	if err == nil || !strings.Contains(err.Error(), "x=1") {
 		t.Fatalf("regressed point not reported: %v", err)
 	}
@@ -163,24 +166,61 @@ func TestDiffGoodput(t *testing.T) {
 		exp.Series{Name: "goodput N=5 envelope energy-cs",
 			X: []float64{10, 11, 12}, Y: []float64{1, 1, 1}},
 	))
-	if err := diffGoodput(ref, regrid, 0.15); err != nil {
+	if err := diffThroughput(ref, regrid, 0.15); err != nil {
 		t.Fatalf("disjoint load grid flagged: %v", err)
 	}
-	// Dropping every goodput series from a re-run experiment fails.
+	// Dropping every gated series from a re-run experiment fails.
 	dropped := fileWith(entry("macload",
 		exp.Series{Name: "latency p90 N=5", Y: []float64{1, 2, 3}},
 	))
-	if err := diffGoodput(ref, dropped, 0.15); err == nil || !strings.Contains(err.Error(), "produced none") {
+	if err := diffThroughput(ref, dropped, 0.15); err == nil || !strings.Contains(err.Error(), "produced none") {
 		t.Fatalf("dropped goodput series not reported: %v", err)
 	}
 	// Not running the experiment at all exempts it (partial runs only
 	// gate what they measured).
 	partial := fileWith(entry("fig09", goodputSeries("per", 1)))
-	if err := diffGoodput(ref, partial, 0.15); err != nil {
+	if err := diffThroughput(ref, partial, 0.15); err != nil {
 		t.Fatalf("partial run without macload flagged: %v", err)
 	}
-	// A reference without goodput series gates nothing.
-	if err := diffGoodput(fileWith(entry("fig09")), bad, 0.15); err != nil {
-		t.Fatalf("goodput-free reference flagged: %v", err)
+	// A reference without gated series gates nothing.
+	if err := diffThroughput(fileWith(entry("fig09")), bad, 0.15); err != nil {
+		t.Fatalf("throughput-free reference flagged: %v", err)
+	}
+}
+
+// TestDiffThroughputGatesCommittedExchanges pins the scale block's
+// membership in the -diff gate: the committed-exchanges-per-wall-second
+// series regressing > 15% fails even with every goodput series intact.
+func TestDiffThroughputGatesCommittedExchanges(t *testing.T) {
+	ref := fileWith(
+		entry("macload", goodputSeries("goodput N=5 envelope energy-cs", 10, 20)),
+		entry("scale",
+			goodputSeries("committed exchanges per wall-second vs nodes", 40, 30),
+			exp.Series{Name: "harbor build-out wall time vs nodes", Y: []float64{1, 2}},
+		),
+	)
+	if err := diffThroughput(ref, ref, 0.15); err != nil {
+		t.Fatalf("identical scale runs flagged: %v", err)
+	}
+	// Wall-time series are not gated (they are wall-clock noise), but
+	// the committed-exchanges rate is.
+	bad := fileWith(
+		entry("macload", goodputSeries("goodput N=5 envelope energy-cs", 10, 20)),
+		entry("scale",
+			goodputSeries("committed exchanges per wall-second vs nodes", 40, 20),
+			exp.Series{Name: "harbor build-out wall time vs nodes", Y: []float64{100, 200}},
+		),
+	)
+	err := diffThroughput(ref, bad, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "committed exchanges") {
+		t.Fatalf("committed-exchanges regression not reported: %v", err)
+	}
+	// A scale re-run that silently drops the committed series fails.
+	droppedScale := fileWith(
+		entry("macload", goodputSeries("goodput N=5 envelope energy-cs", 10, 20)),
+		entry("scale", exp.Series{Name: "harbor build-out wall time vs nodes", Y: []float64{1, 2}}),
+	)
+	if err := diffThroughput(ref, droppedScale, 0.15); err == nil || !strings.Contains(err.Error(), "produced none") {
+		t.Fatalf("dropped committed-exchanges series not reported: %v", err)
 	}
 }

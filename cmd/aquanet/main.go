@@ -9,8 +9,13 @@
 // -relay mode routes a bulk payload down a multi-hop relay line —
 // store-and-forward over the carrier-sense MAC, per-packet band
 // re-adaptation, per-hop progress — and reports end-to-end goodput
-// and latency (the sweep lives in `aquabench -multihop`). All modes
-// run entirely on the public Network API.
+// and latency (the sweep lives in `aquabench -multihop`). The -scale
+// mode builds a harbor-scale deployment — a pod lattice sized by
+// -pods-x/-pods-y/-podsize, spatially reusing the 60-tone space under
+// a bounded carrier-sense range — and relays cross-harbor messages,
+// reporting delivery counts and the build-out/routing/driving wall
+// costs (the sweep lives in `aquabench -scale`). All modes run
+// entirely on the public Network API.
 //
 // Usage:
 //
@@ -21,6 +26,8 @@
 //	        [-seed 1] [-env bridge] [-csrange 0] [-preamble-aware]
 //	aquanet -relay [-hops 3] [-spacing 25] [-bulk 32] [-policy minhop]
 //	        [-mode envelope|waveform] [-seed 1] [-env bridge] [-csrange 0]
+//	aquanet -scale [-pods-x 5] [-pods-y 5] [-podsize 10] [-msgs 8]
+//	        [-workers 0] [-seed 1] [-env bridge] [-csrange 30]
 package main
 
 import (
@@ -119,6 +126,36 @@ func buildLoadPoint(nodes int, rate, duration float64, mode string, noCS, preamb
 	return p, nil
 }
 
+// buildScalePoint turns -scale flags into a validated harbor point.
+// Lattice, pod-size, message-count and range abuse is rejected by the
+// point's own Validate, shared with the scale harness. A -csrange of 0
+// maps onto the harness default (30 m): an unlimited range cannot
+// reuse tones, so harbor scale requires a bound.
+func buildScalePoint(podsX, podsY, podSize, msgs, workers int, seed int64,
+	csRange float64, env aquago.Environment) (exp.ScalePoint, error) {
+	if err := validateCommonFlags(seed, csRange); err != nil {
+		return exp.ScalePoint{}, err
+	}
+	if workers < 0 {
+		return exp.ScalePoint{}, fmt.Errorf("-workers %d: use 0 for one per core", workers)
+	}
+	p := exp.ScalePoint{
+		PodsX:    podsX,
+		PodsY:    podsY,
+		PodSize:  podSize,
+		CSRangeM: csRange,
+		Msgs:     msgs,
+		Seed:     seed,
+		Retries:  -1,
+		Workers:  workers,
+		Env:      env,
+	}
+	if err := p.Validate(); err != nil {
+		return exp.ScalePoint{}, err
+	}
+	return p, nil
+}
+
 // parsePolicy maps the -policy flag onto a routing policy.
 func parsePolicy(policy string) (aquago.RoutingPolicy, error) {
 	switch policy {
@@ -185,6 +222,11 @@ func main() {
 	spacing := flag.Float64("spacing", 25, "distance between adjacent relay nodes in meters (-relay)")
 	bulk := flag.Int("bulk", 32, "bulk payload size in bytes (-relay)")
 	policy := flag.String("policy", "minhop", "routing policy: minhop or minetx (-relay)")
+	scale := flag.Bool("scale", false, "scale mode: build a harbor-sized pod lattice and relay cross-harbor traffic")
+	podsX := flag.Int("pods-x", 5, "pod lattice columns (-scale)")
+	podsY := flag.Int("pods-y", 5, "pod lattice rows (-scale)")
+	podSize := flag.Int("podsize", 10, "devices per pod, 1..15 (-scale)")
+	msgs := flag.Int("msgs", 8, "cross-harbor messages to relay (-scale)")
 	flag.Parse()
 
 	env, ok := channel.ByName(*envName)
@@ -192,8 +234,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aquanet: unknown environment %q\n", *envName)
 		os.Exit(1)
 	}
-	if *relay && *load {
-		fatal(errors.New("pick one of -relay and -load"))
+	modes := 0
+	for _, on := range []bool{*relay, *load, *scale} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatal(errors.New("pick one of -relay, -load and -scale"))
+	}
+	if *scale {
+		pt, err := buildScalePoint(*podsX, *podsY, *podSize, *msgs, *workers, *seed, *csRange, env)
+		if err != nil {
+			fatal(err)
+		}
+		runScale(pt, env.Name)
+		return
 	}
 	if *relay {
 		pt, err := buildRelayPoint(*hops, *spacing, *bulk, *mode, *policy, *seed, *csRange, env)
@@ -283,6 +339,31 @@ func runRelay(pt exp.MultiHopPoint, envName string) {
 	fmt.Printf("delivered   %d/%d packets (%d attempts) over %d hops\n",
 		res.DeliveredPackets, res.Packets, res.Attempts, res.Hops)
 	fmt.Printf("end-to-end  %.2f s latency, %.2f bps goodput\n", res.LatencyS, res.GoodputBPS)
+}
+
+// runScale builds one harbor point and prints the same numbers the
+// scale harness tabulates, splitting the deterministic traffic outcome
+// from this machine's wall-clock costs.
+func runScale(pt exp.ScalePoint, envName string) {
+	nodes := pt.PodsX * pt.PodsY * pt.PodSize
+	cs := pt.CSRangeM
+	if cs == 0 {
+		cs = 30
+	}
+	fmt.Printf("Harbor simulation: %dx%d pods of %d devices (%d nodes), %g m carrier sense, %s\n",
+		pt.PodsX, pt.PodsY, pt.PodSize, nodes, cs, envName)
+	res, err := exp.RunScalePoint(pt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("delivered   %d/%d cross-harbor messages over %d total hops (makespan %.1f s)\n",
+		res.Delivered, res.Msgs, res.TotalHops, res.MakespanS)
+	fmt.Printf("losses      %d busy-drops, %d unacked\n", res.BusyDrops, res.NoACKs)
+	fmt.Printf("wall costs  join %.2f s, route %.2f s, drive %.2f s\n",
+		res.JoinWallS, res.RouteWallS, res.DriveWallS)
+	fmt.Printf("scheduler   %d granted, %d committed (%.1f exchanges/wall-s), airtime %.1f s, %d conflict edges\n",
+		res.Sched.Granted, res.Sched.Committed, res.CommittedPerWallSec,
+		res.Sched.AirtimeS, res.Sched.ConflictEdges)
 }
 
 // runFig19 is the original batch contention mode.

@@ -110,6 +110,58 @@ func TestBuildLoadPoint(t *testing.T) {
 	}
 }
 
+// TestBuildScalePoint covers the -scale flag error paths, funneled
+// through the scale harness point's own Validate so CLI and harness
+// cannot drift apart on what is buildable.
+func TestBuildScalePoint(t *testing.T) {
+	type args struct {
+		podsX, podsY, podSize, msgs, workers int
+		seed                                 int64
+		csRange                              float64
+	}
+	good := args{podsX: 5, podsY: 5, podSize: 10, msgs: 8, seed: 1}
+	cases := []struct {
+		name    string
+		mutate  func(*args)
+		wantErr string
+	}{
+		{"defaults", func(*args) {}, ""},
+		{"csrange 0 maps to harness default", func(a *args) { a.csRange = 0 }, ""},
+		{"explicit csrange", func(a *args) { a.csRange = 40 }, ""},
+		{"max pod size", func(a *args) { a.podSize = 15 }, ""},
+		{"one pod column", func(a *args) { a.podsX = 1 }, "at least two pod columns"},
+		{"zero pod rows", func(a *args) { a.podsY = 0 }, "at least one pod row"},
+		{"zero pod size", func(a *args) { a.podSize = 0 }, "outside 1..15"},
+		{"oversized pod", func(a *args) { a.podSize = 16 }, "outside 1..15"},
+		{"too many nodes", func(a *args) { a.podsX = 40; a.podsY = 40 }, "harness cap"},
+		{"zero messages is the default", func(a *args) { a.msgs = 0 }, ""},
+		{"too many messages", func(a *args) { a.msgs = 5000 }, "outside 1.."},
+		{"negative workers", func(a *args) { a.workers = -1 }, "-workers"},
+		{"negative seed", func(a *args) { a.seed = -1 }, "out of range"},
+		{"NaN csrange", func(a *args) { a.csRange = math.NaN() }, "not a finite distance"},
+		{"negative csrange", func(a *args) { a.csRange = -3 }, "cannot be negative"},
+	}
+	for _, tc := range cases {
+		a := good
+		tc.mutate(&a)
+		pt, err := buildScalePoint(a.podsX, a.podsY, a.podSize, a.msgs, a.workers,
+			a.seed, a.csRange, aquago.Bridge)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: error expected, got nil", tc.name)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		case tc.wantErr == "":
+			if pt.PodsX != a.podsX || pt.PodsY != a.podsY || pt.PodSize != a.podSize ||
+				pt.Msgs != a.msgs || pt.Retries != -1 {
+				t.Errorf("%s: flags did not map onto the point: %+v", tc.name, pt)
+			}
+		}
+	}
+}
+
 // TestBuildRelayPoint covers the -relay flag error paths, funneled
 // through the multihop harness point's own Validate so CLI and
 // harness cannot drift apart on what is runnable.

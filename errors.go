@@ -32,9 +32,17 @@ var (
 	ErrBadMessage = app.ErrBadMessage
 	// ErrUnknownMessage: a received payload naming no codebook entry.
 	ErrUnknownMessage = app.ErrUnknownMessage
-	// ErrBadDeviceID: a device ID outside the addressable range
-	// (0..59, bounded by the modem's data subcarriers).
+	// ErrBadDeviceID: a device ID outside the addressable range. The
+	// signal-level surfaces (Modem, Session) address 0..59 — one ID
+	// tone per data subcarrier; a Network accepts IDs up to
+	// MaxNetworkDevices, carrying ID mod 60 on the air.
 	ErrBadDeviceID = phy.ErrBadDeviceID
+	// ErrAddressClash: a Join whose on-air tone (device ID mod 60) is
+	// already in use by another node within carrier-sense audibility
+	// of the new position. The 60-tone address space is reused
+	// spatially; two audible nodes sharing a tone could not be told
+	// apart by a receiver.
+	ErrAddressClash = errors.New("aquago: on-air address tone already audible")
 	// ErrUnknownDevice: a Send to a device that never joined the
 	// network.
 	ErrUnknownDevice = errors.New("aquago: unknown destination device")

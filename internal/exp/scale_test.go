@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleValidate pins the harness's parameter taxonomy.
+func TestScaleValidate(t *testing.T) {
+	base := ScalePoint{PodsX: 3, PodsY: 2, PodSize: 5}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base point rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*ScalePoint)
+		want string
+	}{
+		{"one column", func(p *ScalePoint) { p.PodsX = 1 }, "two pod columns"},
+		{"zero rows", func(p *ScalePoint) { p.PodsY = 0 }, "pod row"},
+		{"pod too big", func(p *ScalePoint) { p.PodSize = 16 }, "pod size"},
+		{"too many nodes", func(p *ScalePoint) { p.PodsX, p.PodsY, p.PodSize = 100, 100, 15 }, "exceed"},
+		{"bad range", func(p *ScalePoint) { p.CSRangeM = -1 }, "carrier-sense range"},
+		{"no msgs", func(p *ScalePoint) { p.Msgs = -1 }, "message count"},
+	}
+	for _, c := range cases {
+		p := base
+		c.mut(&p)
+		err := p.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestScaleSmallHarbor runs a 30-node harbor end to end: every
+// cross-harbor message must route and deliver, and the relayed paths
+// must actually relay (no direct west-east hop exists at this
+// geometry).
+func TestScaleSmallHarbor(t *testing.T) {
+	r, err := RunScalePoint(ScalePoint{
+		PodsX: 3, PodsY: 2, PodSize: 5, Msgs: 3, Seed: 7, Workers: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes != 30 || r.Pods != 6 {
+		t.Fatalf("geometry: %d nodes / %d pods, want 30 / 6", r.Nodes, r.Pods)
+	}
+	if r.Delivered != r.Msgs {
+		t.Fatalf("delivered %d of %d (busy %d, noack %d)", r.Delivered, r.Msgs, r.BusyDrops, r.NoACKs)
+	}
+	// West column to east column is two pod spacings (1.8 carrier-sense
+	// ranges): no single hop can cross it.
+	if r.TotalHops < 2*r.Delivered {
+		t.Fatalf("mean hops %.1f: cross-harbor traffic did not relay", float64(r.TotalHops)/float64(r.Delivered))
+	}
+	if r.Sched.Committed < r.TotalHops {
+		t.Fatalf("committed %d exchanges under %d hops walked", r.Sched.Committed, r.TotalHops)
+	}
+}
+
+// TestScaleDeterminismAcrossWorkers pins the harness's deterministic
+// fields at ~500 nodes: a serial run and a fully parallel run must
+// agree exchange for exchange (the CI race job runs this as the
+// quick-scale golden).
+func TestScaleDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-node harbor in -short mode")
+	}
+	pt := ScalePoint{PodsX: 7, PodsY: 7, PodSize: 10, Msgs: 3, Seed: 11}
+	pt.Workers = 1
+	serial, err := RunScalePoint(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.Workers = 0 // one per core
+	parallel, err := RunScalePoint(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk, pk := serial.DeterministicKey(), parallel.DeterministicKey(); sk != pk {
+		t.Fatalf("workers changed results:\n  serial:   %s\n  parallel: %s", sk, pk)
+	}
+	if serial.Delivered == 0 {
+		t.Fatal("nothing delivered at 490 nodes")
+	}
+}

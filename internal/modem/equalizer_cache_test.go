@@ -1,0 +1,75 @@
+package modem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEqualizerSolveCache pins the Levinson solve cache: training
+// twice on identical receive conditions must reuse the solve (hit
+// counter moves, taps identical), and a perturbed input must miss and
+// produce its own solve.
+func TestEqualizerSolveCache(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	nTaps := 64
+	ref := make([]float64, 512)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	rx := make([]float64, 1024)
+	for i := range rx {
+		rx[i] = 0.8*refAt(ref, i) + 0.1*rng.NormFloat64()
+	}
+
+	h0, m0 := EqualizerCacheStats()
+	eq1, err := m.TrainEqualizer(rx, ref, nTaps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq2, err := m.TrainEqualizer(rx, ref, nTaps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := EqualizerCacheStats()
+	if h1 <= h0 {
+		t.Fatalf("identical retrain did not hit the cache (hits %d -> %d)", h0, h1)
+	}
+	if len(eq1.Taps) != len(eq2.Taps) {
+		t.Fatalf("tap lengths differ: %d vs %d", len(eq1.Taps), len(eq2.Taps))
+	}
+	for i := range eq1.Taps {
+		if math.Float64bits(eq1.Taps[i]) != math.Float64bits(eq2.Taps[i]) {
+			t.Fatalf("tap %d differs across cached retrain: %g vs %g", i, eq1.Taps[i], eq2.Taps[i])
+		}
+	}
+	// Cached taps are copies: mutating one result must not leak into
+	// the next.
+	eq2.Taps[0] += 1
+	eq3, err := m.TrainEqualizer(rx, ref, nTaps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(eq3.Taps[0]) != math.Float64bits(eq1.Taps[0]) {
+		t.Fatal("cache entry aliased a returned tap slice")
+	}
+
+	// A perturbed input is a different solve.
+	rx2 := append([]float64(nil), rx...)
+	rx2[100] += 0.5
+	_, mBefore := EqualizerCacheStats()
+	if _, err := m.TrainEqualizer(rx2, ref, nTaps, 8); err != nil {
+		t.Fatal(err)
+	}
+	_, mAfter := EqualizerCacheStats()
+	if mAfter <= mBefore && mBefore >= m0 {
+		t.Fatalf("perturbed retrain did not miss (misses %d -> %d)", mBefore, mAfter)
+	}
+}
+
+// refAt indexes ref cyclically so rx carries correlated structure.
+func refAt(ref []float64, i int) float64 { return ref[i%len(ref)] }

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Grid is a uniform spatial hash over node positions, keyed by a cell
+// size chosen to match the query radius (the carrier-sense range):
+// every node within r of a point lies in the 3x3x3 block of cells
+// around it, so range queries touch candidate cells instead of the
+// whole population. It is the index behind the network's audibility
+// adjacency, scheduler conflict edges and Dijkstra expansion — the
+// structure that turns the O(N^2) pairwise geometry scans into
+// O(neighborhood) work at 1 000-10 000 nodes.
+//
+// Grid is append-only (nodes never leave the water) and not safe for
+// concurrent use; callers serialize access, like the Medium it
+// mirrors. A cell size <= 0 disables indexing — the caller's
+// brute-force "everyone is a candidate" mode.
+type Grid struct {
+	cellM float64
+	cells map[[3]int32][]int32
+	pos   []Position
+}
+
+// NewGrid creates a grid with the given cell size in meters. cellM <=
+// 0 builds a disabled grid: Within answers nothing and Enabled
+// reports false, so callers fall back to brute force.
+func NewGrid(cellM float64) *Grid {
+	g := &Grid{cellM: cellM}
+	if cellM > 0 {
+		g.cells = make(map[[3]int32][]int32)
+	}
+	return g
+}
+
+// Enabled reports whether the grid indexes anything (cell size > 0).
+func (g *Grid) Enabled() bool { return g.cellM > 0 }
+
+// NumNodes returns how many nodes the grid holds.
+func (g *Grid) NumNodes() int { return len(g.pos) }
+
+// cellOf maps a position to its cell key. Floor (not truncation)
+// keeps negative coordinates in distinct cells from positive ones.
+func (g *Grid) cellOf(p Position) [3]int32 {
+	return [3]int32{
+		int32(math.Floor(p.X / g.cellM)),
+		int32(math.Floor(p.Y / g.cellM)),
+		int32(math.Floor(p.Z / g.cellM)),
+	}
+}
+
+// Add registers the next node (index len-1 before the call must equal
+// idx) at p.
+func (g *Grid) Add(idx int, p Position) {
+	if idx != len(g.pos) {
+		panic("sim: grid nodes must be added in index order")
+	}
+	g.pos = append(g.pos, p)
+	if !g.Enabled() {
+		return
+	}
+	key := g.cellOf(p)
+	g.cells[key] = append(g.cells[key], int32(idx))
+}
+
+// AppendWithin appends to dst every node index whose position lies
+// within rM of p (inclusive, matching the carrier-sense audibility
+// rule elsewhere), in ascending index order, and returns the extended
+// slice. The query radius must not exceed the cell size — the scan
+// covers only the one-cell neighborhood. A disabled grid returns dst
+// unchanged (callers brute-force instead).
+func (g *Grid) AppendWithin(dst []int, p Position, rM float64) []int {
+	if !g.Enabled() || rM <= 0 {
+		return dst
+	}
+	if rM > g.cellM {
+		panic("sim: grid query radius exceeds cell size")
+	}
+	start := len(dst)
+	c := g.cellOf(p)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dz := int32(-1); dz <= 1; dz++ {
+				bucket := g.cells[[3]int32{c[0] + dx, c[1] + dy, c[2] + dz}]
+				for _, j := range bucket {
+					if g.pos[j].DistanceTo(p) <= rM {
+						dst = append(dst, int(j))
+					}
+				}
+			}
+		}
+	}
+	// Cells scan in deterministic key order but not index order; a
+	// sorted candidate list keeps every consumer (adjacency lists,
+	// conflict edges, Dijkstra expansion) deterministic by
+	// construction.
+	tail := dst[start:]
+	sort.Ints(tail)
+	return dst
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestGridWithinMatchesBrute checks the range query against the O(N)
+// scan over random scatters, including draws quantized to cell-pitch
+// fractions so nodes straddle cell boundaries and distances hit the
+// radius exactly.
+func TestGridWithinMatchesBrute(t *testing.T) {
+	for _, cell := range []float64{7.5, 30} {
+		for seed := int64(1); seed <= 4; seed++ {
+			rng := rand.New(rand.NewSource(seed * 2357))
+			g := NewGrid(cell)
+			var pts []Position
+			for i := 0; i < 150; i++ {
+				p := Position{
+					X: (rng.Float64() - 0.5) * 6 * cell,
+					Y: (rng.Float64() - 0.5) * 6 * cell,
+					Z: rng.Float64() * cell,
+				}
+				if rng.Intn(2) == 0 {
+					// Snap to half-cell pitch: exact boundary straddles.
+					p.X = float64(int(p.X/(cell/2))) * (cell / 2)
+					p.Y = float64(int(p.Y/(cell/2))) * (cell / 2)
+					p.Z = 0
+				}
+				g.Add(i, p)
+				pts = append(pts, p)
+			}
+			for _, r := range []float64{cell / 3, cell} {
+				for trial := 0; trial < 50; trial++ {
+					q := pts[rng.Intn(len(pts))]
+					if trial%2 == 0 {
+						q = Position{X: (rng.Float64() - 0.5) * 7 * cell, Y: (rng.Float64() - 0.5) * 7 * cell}
+					}
+					got := g.AppendWithin(nil, q, r)
+					var want []int
+					for i, p := range pts {
+						if p.DistanceTo(q) <= r {
+							want = append(want, i)
+						}
+					}
+					if fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("cell=%g seed=%d r=%g query %v: grid %v != brute %v", cell, seed, r, q, got, want)
+					}
+					for i := 1; i < len(got); i++ {
+						if got[i-1] >= got[i] {
+							t.Fatalf("unsorted candidates %v", got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridDisabled pins brute-force mode: cell size <= 0 indexes
+// nothing and answers nothing.
+func TestGridDisabled(t *testing.T) {
+	g := NewGrid(0)
+	if g.Enabled() {
+		t.Fatal("zero-cell grid reports enabled")
+	}
+	g.Add(0, Position{X: 1})
+	if g.NumNodes() != 1 {
+		t.Fatal("disabled grid must still count nodes")
+	}
+	if got := g.AppendWithin([]int{7}, Position{}, 5); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("disabled grid answered a range query: %v", got)
+	}
+}
+
+// TestGridPanics pins the misuse guards: out-of-order adds and
+// queries wider than the cell (which would silently miss candidates).
+func TestGridPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	g := NewGrid(10)
+	g.Add(0, Position{})
+	expectPanic("out-of-order add", func() { g.Add(2, Position{X: 1}) })
+	expectPanic("oversized radius", func() { g.AppendWithin(nil, Position{}, 10.5) })
+}
+
+// TestGridAppendReusesDst pins the scratch-buffer contract: results
+// append after existing elements and reuse capacity.
+func TestGridAppendReusesDst(t *testing.T) {
+	g := NewGrid(10)
+	g.Add(0, Position{X: 1})
+	g.Add(1, Position{X: 100})
+	buf := make([]int, 0, 8)
+	out := g.AppendWithin(buf, Position{}, 5)
+	if len(out) != 1 || out[0] != 0 {
+		t.Fatalf("query = %v, want [0]", out)
+	}
+	if &out[:1][0] != &buf[:1][0] {
+		t.Fatal("result did not reuse the scratch buffer")
+	}
+}

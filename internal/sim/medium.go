@@ -81,6 +81,10 @@ type Medium struct {
 	// CSRangeM bounds carrier-sense audibility (0 = unlimited); real
 	// deployments hear well past the 5-10 m node spacing.
 	CSRangeM float64
+	// Bounding box over node positions, maintained incrementally by
+	// AddNode: its diagonal upper-bounds every pairwise distance, so
+	// maxDelayS stays O(1) instead of O(N^2) per Prune at 10k nodes.
+	bboxMin, bboxMax Position
 }
 
 // New creates a medium in the given environment.
@@ -90,6 +94,16 @@ func New(env channel.Environment) *Medium {
 
 // AddNode registers a node and returns its index.
 func (m *Medium) AddNode(p Position) int {
+	if len(m.positions) == 0 {
+		m.bboxMin, m.bboxMax = p, p
+	} else {
+		m.bboxMin.X = math.Min(m.bboxMin.X, p.X)
+		m.bboxMin.Y = math.Min(m.bboxMin.Y, p.Y)
+		m.bboxMin.Z = math.Min(m.bboxMin.Z, p.Z)
+		m.bboxMax.X = math.Max(m.bboxMax.X, p.X)
+		m.bboxMax.Y = math.Max(m.bboxMax.Y, p.Y)
+		m.bboxMax.Z = math.Max(m.bboxMax.Z, p.Z)
+	}
 	m.positions = append(m.positions, p)
 	return len(m.positions) - 1
 }
@@ -276,16 +290,18 @@ func (m *Medium) Prune(horizonS, maxFutureDurS float64) {
 }
 
 // maxDelayS returns an upper bound on the propagation delay to any
-// node, present or plausibly future: the larger of the current
-// pairwise maximum and the environment's usable span (covering nodes
-// that join, anywhere on the site, after a prune).
+// node, present or plausibly future: the larger of the node bounding
+// box's diagonal (which upper-bounds every pairwise distance, exactly
+// for two nodes) and the environment's usable span (covering nodes
+// that join, anywhere on the site, after a prune). The incremental
+// bounding box replaces a former O(N^2) pairwise scan that dominated
+// Prune at thousands of nodes; a looser bound only keeps a
+// transmission slightly longer, never drops one early.
 func (m *Medium) maxDelayS() float64 {
 	maxD := m.env.MaxRangeM
-	for i := 0; i < len(m.positions); i++ {
-		for j := i + 1; j < len(m.positions); j++ {
-			if d := m.positions[i].DistanceTo(m.positions[j]); d > maxD {
-				maxD = d
-			}
+	if len(m.positions) > 0 {
+		if d := m.bboxMin.DistanceTo(m.bboxMax); d > maxD {
+			maxD = d
 		}
 	}
 	return maxD / channel.SoundSpeed

@@ -17,6 +17,19 @@ import (
 // drawn at Join (see WithNodeClock).
 const joinStaggerS = 1.5
 
+// MaxNetworkDevices bounds the device IDs a Network accepts (Join).
+// The on-air address space is still the modem's 60 ID-tone
+// subcarriers (phy.MaxDeviceID) — the paper's hard limit — but a
+// network reuses it spatially: a node's tone is its ID modulo 60, and
+// Join only requires the tone to be unique within carrier-sense
+// audibility, the distance inside which two exchanges could ever
+// confuse addresses. Distant pods therefore recycle tones the way
+// cellular systems recycle frequencies, and a bounded-audibility
+// deployment scales to thousands of devices; with an unlimited
+// carrier-sense range every node hears every other, so the effective
+// cap remains 60, as in the paper's pool.
+const MaxNetworkDevices = 1 << 16
+
 // Position locates a node in meters; Z is depth below the surface.
 type Position = sim.Position
 
@@ -195,13 +208,19 @@ func WithNetworkWorkers(workers int) NetworkOption {
 	return func(c *networkConfig) { c.workers = workers }
 }
 
-// Network is a shared body of simulated water that up to 60 devices
-// contend for (§2.4 of the paper). It owns:
+// Network is a shared body of simulated water that contending devices
+// inhabit (§2.4 of the paper evaluates up to 60; with a bounded
+// carrier-sense range the 60-tone on-air address space is reused
+// spatially and the network scales to thousands of nodes — see
+// MaxNetworkDevices). It owns:
 //
 //   - an envelope-mode acoustic medium tracking what is on the air
 //     where and when (carrier sense, collision accounting — Fig 19),
 //   - a lazily built channel link for every directed node pair,
-//     derived from node geometry, and
+//     derived from node geometry,
+//   - a uniform spatial grid over node positions (cell size = the
+//     carrier-sense range) backing audibility adjacency, scheduler
+//     conflict edges and route expansion, and
 //   - per-node protocol stacks on one shared virtual timeline.
 //
 // Nodes enter with Join; Node.Send runs the full adaptive protocol
@@ -221,7 +240,6 @@ type Network struct {
 	cfg networkConfig
 
 	mu    sync.Mutex
-	cond  *sync.Cond
 	med   *sim.Medium
 	links *sim.Links
 	// bank holds per-stage waveforms for sample-level superposition;
@@ -229,6 +247,17 @@ type Network struct {
 	bank  *sim.WaveBank
 	nodes map[DeviceID]*Node
 	order []*Node
+	// grid is the uniform spatial index over node positions, cell size
+	// = carrier-sense range (disabled when the range is unlimited —
+	// then everyone is everyone's neighbor and brute force is exact).
+	grid *sim.Grid
+	// neighbors is the audibility adjacency, per node index, ascending
+	// — maintained incrementally at Join from the grid. nil as a whole
+	// when the carrier-sense range is unlimited (brute-force mode).
+	neighbors [][]int
+	// gridScratch is a reusable candidate buffer for grid queries
+	// under mu.
+	gridScratch []int
 	// frontier is the scoped virtual commit frontier, per node index:
 	// one sense interval past the latest committed transmission start
 	// the node could have heard. Sends resolve in grant order, which
@@ -241,10 +270,12 @@ type Network struct {
 	// wcAirtimeS is the worst-case (narrowest-band) exchange airtime
 	// across joined nodes — Prune's bound on future durations.
 	wcAirtimeS float64
-	// Routing caches (route.go): shortest paths and ETX edge weights
-	// per node-index pair. Geometry is fixed after Join, so entries
-	// never go stale — Join drops both wholesale.
-	routeCache map[[2]int][]int
+	// Routing caches (route.go): shortest paths (with their policy
+	// cost) and ETX edge weights per node-index pair. Positions are
+	// fixed at Join, so ETX entries never go stale; a Join invalidates
+	// only the routes the new node could have shortened
+	// (noteJoinLocked).
+	routeCache map[[2]int]cachedRoute
 	etxCache   map[[2]int]float64
 
 	// Conflict-graph scheduler state (sched.go).
@@ -253,6 +284,10 @@ type Network struct {
 	sem     chan struct{}
 	running int
 	stats   SchedulerStats
+	// sincePrune counts attempts admitted since the last log prune;
+	// pruning amortizes its O(nodes) bound scan across a batch of
+	// admissions (results are prune-schedule independent).
+	sincePrune int
 
 	// traceMu serializes the shared network-wide trace across
 	// concurrently executing exchanges (see Trace).
@@ -285,9 +320,12 @@ func NewNetwork(env Environment, opts ...NetworkOption) (*Network, error) {
 		med:   med,
 		links: sim.NewLinks(med, sampleRate, cfg.seed, false),
 		nodes: make(map[DeviceID]*Node),
+		grid:  sim.NewGrid(cfg.csRangeM),
 		sem:   make(chan struct{}, schedWorkers(cfg.workers)),
 	}
-	n.cond = sync.NewCond(&n.mu)
+	if cfg.csRangeM > 0 {
+		n.neighbors = [][]int{}
+	}
 	if cfg.mode == WaveformContention {
 		n.bank = sim.NewWaveBank(med, sampleRate, cfg.seed)
 	}
@@ -317,8 +355,14 @@ func (n *Network) NumNodes() int {
 }
 
 // Join adds a device at the given position and returns its Node. IDs
-// must be unique and in [0, 60); positions with Z outside the water
-// column are clamped to it.
+// must be unique and in [0, MaxNetworkDevices); positions with Z
+// outside the water column are clamped to it. The on-air address is
+// the ID modulo 60 (the modem's ID-tone space), and Join additionally
+// requires that tone to be unique among nodes within carrier-sense
+// audibility of the new position (ErrAddressClash otherwise) — with
+// an unlimited carrier-sense range that keeps the paper's 60-device
+// cap, while a bounded range reuses tones spatially and scales to
+// thousands of devices (see MaxNetworkDevices).
 func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, error) {
 	nc := nodeConfig{}
 	for _, o := range opts {
@@ -328,7 +372,12 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 	if err != nil {
 		return nil, err
 	}
-	if !id.Valid(m.Config()) {
+	if id < 0 || int(id) >= MaxNetworkDevices {
+		return nil, fmt.Errorf("%w: %d (IDs are [0, %d); the on-air tone is ID mod %d)",
+			ErrBadDeviceID, id, MaxNetworkDevices, phy.MaxDeviceID)
+	}
+	tone := DeviceID(int(id) % phy.MaxDeviceID)
+	if !tone.Valid(m.Config()) {
 		return nil, fmt.Errorf("%w: %d", ErrBadDeviceID, id)
 	}
 
@@ -336,6 +385,25 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 	defer n.mu.Unlock()
 	if _, ok := n.nodes[id]; ok {
 		return nil, fmt.Errorf("%w: %d", ErrDuplicateDevice, id)
+	}
+	// Audible candidates of the new position: the per-cell candidate
+	// sets when the grid is live, every joined node under an unlimited
+	// range. They double as the tone-clash check set and the new
+	// node's adjacency row.
+	var audible []int
+	if n.grid.Enabled() {
+		n.gridScratch = n.grid.AppendWithin(n.gridScratch[:0], pos, n.cfg.csRangeM)
+		audible = n.gridScratch
+	} else {
+		for j := range n.order {
+			audible = append(audible, j)
+		}
+	}
+	for _, j := range audible {
+		if other := n.order[j]; other.tone == tone {
+			return nil, fmt.Errorf("%w: ID %d and ID %d share on-air tone %d within %s",
+				ErrAddressClash, id, other.id, tone, audibleRangeLabel(n.cfg.csRangeM))
+		}
 	}
 	var idx int
 	addNode := func() {
@@ -352,11 +420,24 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 	} else {
 		addNode()
 	}
+	n.grid.Add(idx, pos)
+	if n.neighbors != nil {
+		// Incremental adjacency: the new node's row is exactly the
+		// audible candidate set (already ascending); existing rows gain
+		// the new node by appending its index, which is the maximum so
+		// far, keeping every row sorted.
+		row := append([]int(nil), audible...)
+		n.neighbors = append(n.neighbors, row)
+		for _, j := range row {
+			n.neighbors[j] = append(n.neighbors[j], idx)
+		}
+	}
 	n.frontier = append(n.frontier, 0)
 
 	nd := &Node{
 		net:   n,
 		id:    id,
+		tone:  tone,
 		idx:   idx,
 		pos:   pos,
 		trace: nc.trace,
@@ -368,7 +449,9 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 		nd.clockS = staggerRng.Float64() * joinStaggerS
 	}
 	nd.proto = phy.New(m, phy.Options{OnStage: nd.onStage})
-	nd.msgr = newNodeMessenger(nd.proto, id, n.cfg.retries)
+	// The messenger speaks on-air tones, not public IDs: packets carry
+	// Src/Dst in the 60-tone space the modem can actually modulate.
+	nd.msgr = newNodeMessenger(nd.proto, tone, n.cfg.retries)
 	nd.cont = mac.NewContender(mac.Config{
 		CarrierSense:  n.cfg.carrierSense,
 		PreambleAware: n.cfg.preambleAware,
@@ -385,8 +468,33 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 	}
 	n.nodes[id] = nd
 	n.order = append(n.order, nd)
-	n.invalidateRoutesLocked()
+	n.noteJoinLocked(idx)
 	return nd, nil
+}
+
+// audibleRangeLabel names the audibility bound in error messages.
+func audibleRangeLabel(csRangeM float64) string {
+	if csRangeM <= 0 {
+		return "unlimited carrier-sense range"
+	}
+	return fmt.Sprintf("carrier-sense range %g m", csRangeM)
+}
+
+// forEachAudibleLocked calls fn with every node index audible from
+// node i (within the carrier-sense range; every other node when the
+// range is unlimited), in ascending order. Callers hold n.mu.
+func (n *Network) forEachAudibleLocked(i int, fn func(j int)) {
+	if n.neighbors != nil {
+		for _, j := range n.neighbors[i] {
+			fn(j)
+		}
+		return
+	}
+	for j := range n.order {
+		if j != i {
+			fn(j)
+		}
+	}
 }
 
 // Node returns the joined node with the given ID.

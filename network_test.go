@@ -212,8 +212,17 @@ func TestNetworkErrorTaxonomy(t *testing.T) {
 	if _, err := net.Join(1, aquago.Position{X: 9, Z: 1}); !errors.Is(err, aquago.ErrDuplicateDevice) {
 		t.Fatalf("duplicate join: %v", err)
 	}
-	if _, err := net.Join(77, aquago.Position{X: 9, Z: 1}); !errors.Is(err, aquago.ErrBadDeviceID) {
+	if _, err := net.Join(aquago.MaxNetworkDevices, aquago.Position{X: 9, Z: 1}); !errors.Is(err, aquago.ErrBadDeviceID) {
 		t.Fatalf("out-of-range join: %v", err)
+	}
+	if _, err := net.Join(-1, aquago.Position{X: 9, Z: 1}); !errors.Is(err, aquago.ErrBadDeviceID) {
+		t.Fatalf("negative join: %v", err)
+	}
+	// ID 61 maps to on-air tone 1, already held by node a within the
+	// (unlimited) carrier-sense range: the 60-tone space only recycles
+	// beyond audibility.
+	if _, err := net.Join(61, aquago.Position{X: 9, Z: 1}); !errors.Is(err, aquago.ErrAddressClash) {
+		t.Fatalf("tone-clash join: %v", err)
 	}
 	if _, err := a.Send(ctx, 42, okMsg.ID); !errors.Is(err, aquago.ErrUnknownDevice) {
 		t.Fatalf("send to stranger: %v", err)

@@ -67,8 +67,12 @@ const interSendGapS = 0.25
 // another only through the MAC (a busy channel extends the other's
 // backoff), exactly as contention works on the air.
 type Node struct {
-	net   *Network
-	id    DeviceID
+	net *Network
+	id  DeviceID
+	// tone is the on-air address the modem's ID/ACK tones carry: id
+	// mod 60, unique within carrier-sense audibility (Join enforces
+	// it). For IDs below 60 the tone IS the ID.
+	tone  DeviceID
 	idx   int
 	pos   Position
 	proto *phy.Protocol
@@ -256,17 +260,9 @@ func (nd *Node) sendWith(ctx context.Context, dst DeviceID, rc relayCtx, raw *[2
 		}
 		xmed = pair
 	}
+	peerTone := peer.tone
 	clock := nd.clockS
 	n.mu.Unlock()
-
-	// A cancelled context must wake this send if it is parked in the
-	// scheduler's conflict wait.
-	stopWake := context.AfterFunc(ctx, func() {
-		n.mu.Lock()
-		n.cond.Broadcast()
-		n.mu.Unlock()
-	})
-	defer stopWake()
 
 	// The gate runs once per attempt: wait out conflicting earlier
 	// attempts, prune behind the minimum horizon, then carrier-sense
@@ -308,9 +304,9 @@ func (nd *Node) sendWith(ctx context.Context, dst DeviceID, rc relayCtx, raw *[2
 
 	var res SendResult
 	if raw != nil {
-		res, err = nd.msgr.SendRaw(xmed, dst, *raw, clock)
+		res, err = nd.msgr.SendRaw(xmed, peerTone, *raw, clock)
 	} else {
-		res, err = nd.msgr.Send(xmed, dst, first, second, clock)
+		res, err = nd.msgr.Send(xmed, peerTone, first, second, clock)
 	}
 	if res.Attempts > 0 && lastDurS > 0 {
 		// Advance past the last attempt's actual airtime.

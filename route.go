@@ -1,6 +1,7 @@
 package aquago
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 )
@@ -83,6 +84,15 @@ func hopProbability(snrDB float64) float64 {
 	return p
 }
 
+// cachedRoute is one routeCache entry: the shortest path and its
+// policy cost, kept so a later Join can decide — from one scalar
+// Dijkstra rooted at the new node — whether the entry could possibly
+// have been beaten (see noteJoinLocked).
+type cachedRoute struct {
+	path []int
+	cost float64
+}
+
 // Route computes a relay path from src to dst under the network's
 // routing policy (WithRouting; MinHop by default): the returned slice
 // starts at src, ends at dst, visits no node twice, and every
@@ -90,8 +100,9 @@ func hopProbability(snrDB float64) float64 {
 // an unlimited range this is always the direct [src dst] path).
 // Unknown endpoints return ErrUnknownDevice, src == dst returns
 // ErrBadDeviceID, and a partitioned audibility graph returns
-// ErrNoRoute. Paths and edge weights are cached per geometry (joins
-// invalidate), so repeated sends pay for one shortest-path run.
+// ErrNoRoute. Paths and edge weights are cached per geometry; a Join
+// invalidates only the paths the new node could actually shorten, so
+// repeated sends pay for one shortest-path run.
 func (n *Network) Route(src, dst DeviceID) ([]DeviceID, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -133,7 +144,9 @@ func (n *Network) audibleLocked(i, j int) bool {
 // transmission count 1/(p_fwd * p_bwd) — data rides the forward
 // link, the ACK the backward one. ETX weights are cached per pair
 // (the realization is seeded, so the quality never changes under a
-// fixed geometry). Callers hold n.mu.
+// fixed geometry — which is also why Join never drops this cache:
+// pair weights are a function of the two endpoints alone). Callers
+// hold n.mu.
 func (n *Network) hopWeightLocked(u, v int) (float64, error) {
 	if n.cfg.routing != MinETX {
 		return 1, nil
@@ -156,16 +169,59 @@ func (n *Network) hopWeightLocked(u, v int) (float64, error) {
 	return w, nil
 }
 
+// routeItem is one heap entry of the deterministic Dijkstra: the
+// labels node idx carried when it was pushed. The comparator is the
+// full deterministic selection order (cost, hops, length, index), so
+// popping the heap visits nodes exactly as the former global-minimum
+// scan did.
+type routeItem struct {
+	cost float64
+	hops int
+	lenM float64
+	idx  int
+}
+
+// routeHeap implements container/heap ordered by (cost, hops, lenM,
+// idx) ascending.
+type routeHeap []routeItem
+
+func (h routeHeap) Len() int { return len(h) }
+func (h routeHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	switch {
+	case a.cost != b.cost:
+		return a.cost < b.cost
+	case a.hops != b.hops:
+		return a.hops < b.hops
+	case a.lenM != b.lenM:
+		return a.lenM < b.lenM
+	}
+	return a.idx < b.idx
+}
+func (h routeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *routeHeap) Push(x interface{}) { *h = append(*h, x.(routeItem)) }
+func (h *routeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
 // routeLocked runs deterministic Dijkstra on the audibility graph
 // from node index src to dst. Ties break by (cost, hop count, total
 // geometric length, node index), so the chosen path is a pure
 // function of geometry and seeds — independent of map iteration
-// order, worker counts and wall-clock interleaving. Callers hold
-// n.mu.
+// order, worker counts and wall-clock interleaving. Extraction uses a
+// lazy-deletion heap keyed by that same order, and relaxation scans
+// only the audibility adjacency (the spatial grid's neighbor rows),
+// so a build costs O(E log V) on the neighbor graph instead of the
+// former O(V^2) scan — the nodes it settles, and the paths it
+// returns, are identical. Callers hold n.mu.
 func (n *Network) routeLocked(src, dst int) ([]int, error) {
 	key := [2]int{src, dst}
-	if p, ok := n.routeCache[key]; ok {
-		return p, nil
+	if r, ok := n.routeCache[key]; ok {
+		return r.path, nil
 	}
 	const unreached = math.MaxFloat64
 	nn := len(n.order)
@@ -191,41 +247,39 @@ func (n *Network) routeLocked(src, dst int) ([]int, error) {
 		}
 		return at < prev[than]
 	}
-	for {
-		// Linear extraction keeps the selection order total: the
-		// smallest (cost, hops, length, index) unsettled node wins. At
-		// the network's 60-node cap, O(n^2) is noise next to one
-		// exchange.
-		u := -1
-		for i := 0; i < nn; i++ {
-			if done[i] || cost[i] == unreached {
-				continue
-			}
-			if u < 0 || cost[i] < cost[u] ||
-				(cost[i] == cost[u] && (hops[i] < hops[u] ||
-					(hops[i] == hops[u] && (lenM[i] < lenM[u] ||
-						(lenM[i] == lenM[u] && i < u))))) {
-				u = i
-			}
+	pq := &routeHeap{{cost: 0, hops: 0, lenM: 0, idx: src}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(routeItem)
+		u := it.idx
+		if done[u] {
+			// A better label was pushed after this entry and, having a
+			// smaller key, already settled the node (lazy deletion).
+			continue
 		}
-		if u < 0 || u == dst {
+		if u == dst {
 			break
 		}
 		done[u] = true
-		for v := 0; v < nn; v++ {
-			if done[v] || !n.audibleLocked(u, v) {
-				continue
+		var werr error
+		n.forEachAudibleLocked(u, func(v int) {
+			if done[v] || werr != nil {
+				return
 			}
 			w, err := n.hopWeightLocked(u, v)
 			if err != nil {
-				return nil, err
+				werr = err
+				return
 			}
 			c := cost[u] + w
 			h := hops[u] + 1
 			l := lenM[u] + n.order[u].pos.DistanceTo(n.order[v].pos)
 			if c < cost[v] || (c == cost[v] && better(c, h, l, u, v)) {
 				cost[v], hops[v], lenM[v], prev[v] = c, h, l, u
+				heap.Push(pq, routeItem{cost: c, hops: h, lenM: l, idx: v})
 			}
+		})
+		if werr != nil {
+			return nil, werr
 		}
 	}
 	if cost[dst] == unreached {
@@ -240,16 +294,92 @@ func (n *Network) routeLocked(src, dst int) ([]int, error) {
 		path[i], path[j] = path[j], path[i]
 	}
 	if n.routeCache == nil {
-		n.routeCache = make(map[[2]int][]int)
+		n.routeCache = make(map[[2]int]cachedRoute)
 	}
-	n.routeCache[key] = path
+	n.routeCache[key] = cachedRoute{path: path, cost: cost[dst]}
 	return path, nil
 }
 
-// invalidateRoutesLocked drops the route and ETX caches; Join calls
-// it, since new nodes add edges (quality never changes otherwise —
-// positions are fixed at Join). Callers hold n.mu.
-func (n *Network) invalidateRoutesLocked() {
-	n.routeCache = nil
-	n.etxCache = nil
+// distFromLocked runs a cost-only Dijkstra from node index src over
+// the audibility adjacency, returning the policy distance to every
+// node (math.MaxFloat64 where unreachable). Both policies' hop
+// weights are symmetric, so the result reads as distance either to or
+// from src. Callers hold n.mu.
+func (n *Network) distFromLocked(src int) ([]float64, error) {
+	const unreached = math.MaxFloat64
+	dist := make([]float64, len(n.order))
+	done := make([]bool, len(n.order))
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[src] = 0
+	pq := &routeHeap{{idx: src}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(routeItem)
+		u := it.idx
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		var werr error
+		n.forEachAudibleLocked(u, func(v int) {
+			if done[v] || werr != nil {
+				return
+			}
+			w, err := n.hopWeightLocked(u, v)
+			if err != nil {
+				werr = err
+				return
+			}
+			if c := dist[u] + w; c < dist[v] {
+				dist[v] = c
+				heap.Push(pq, routeItem{cost: c, idx: v})
+			}
+		})
+		if werr != nil {
+			return nil, werr
+		}
+	}
+	return dist, nil
+}
+
+// noteJoinLocked invalidates exactly the cached routes the node that
+// just joined (index newIdx) could have changed. A former
+// implementation dropped the route *and* ETX caches wholesale on
+// every Join — quadratically wasteful during a large build-out, and
+// wrong about the ETX cache, whose pair weights depend only on the
+// two endpoints' geometry and never go stale.
+//
+// A cached (a, b) entry was optimal on the old graph. Any strictly
+// better path on the new graph must pass through the new node (a path
+// avoiding it existed before and could not beat the optimum), and
+// such a path costs at least d[a] + d[b], the new node's policy
+// distances to the endpoints — both policies' weights are symmetric.
+// So an entry is stale only if d[a] + d[b] <= its cached cost; the
+// equality case guards the deterministic tie-break, which an
+// equal-cost path through the new node can win on hops, length or
+// index. One scalar Dijkstra rooted at the new node prices every
+// cached entry. If edge weights cannot be computed (a link refuses to
+// build), the route cache is dropped wholesale — correct, merely
+// slower. Callers hold n.mu.
+func (n *Network) noteJoinLocked(newIdx int) {
+	if len(n.routeCache) == 0 {
+		return
+	}
+	joinable := false
+	n.forEachAudibleLocked(newIdx, func(int) { joinable = true })
+	if !joinable {
+		// An isolated node adds no edges; every cached path stands.
+		return
+	}
+	dist, err := n.distFromLocked(newIdx)
+	if err != nil {
+		n.routeCache = nil
+		return
+	}
+	for key, r := range n.routeCache {
+		if dist[key[0]]+dist[key[1]] <= r.cost {
+			delete(n.routeCache, key)
+		}
+	}
 }

@@ -28,9 +28,23 @@ import (
 //     objects, mutually inaudible waves, untouched scoped frontiers —
 //     and run concurrently on the worker slots.
 //
+// Admission is sharded spatially. A ticket's conflict edges are
+// computed once, at registration: every unresolved earlier ticket is
+// tested against it (a shared node, or any cross-pair distance within
+// the carrier-sense range) and the edges are recorded both ways — the
+// earlier ticket remembers whom it blocks, the later one counts how
+// many grants it still waits for. A waiting ticket parks on its own
+// ready channel, closed exactly when its last blocking predecessor
+// resolves, so a resolution wakes only the tickets it actually
+// unblocks: distant pods admit grants without ever signalling — or
+// being woken by — each other, where a single network-wide condition
+// variable used to broadcast every resolution to every waiter and
+// have each re-scan the whole unresolved set.
+//
 // Virtual-time causality, formerly one global commit frontier, is now
 // scoped per node: a grant at start s pushes the frontier of every node
-// that could have heard it (within carrier-sense range) to s + one
+// that could have heard it (within carrier-sense range — the spatial
+// grid's audibility adjacency, not a scan of all nodes) to s + one
 // sense interval, so a later send on such a node can never start in the
 // already-simulated past — while an out-of-range node's timeline is
 // left alone, as real acoustics would. The envelope log is pruned at
@@ -40,14 +54,32 @@ import (
 // busy or collide with it.
 
 // ticket is one granted-or-pending transmission attempt in the
-// scheduler. All fields are guarded by Network.mu.
+// scheduler. All fields are guarded by Network.mu except ready, which
+// is closed under mu and received from outside it.
 type ticket struct {
 	seq     uint64
 	tx, rx  int
 	granted bool
 	startS  float64
 	done    bool
+	// waits counts unresolved earlier conflicting tickets; the
+	// attempt may run once it reaches zero. blocks lists the later
+	// tickets this one must wake on resolution — the precomputed
+	// conflict edge list, fixed at registration (tickets with smaller
+	// sequence numbers all exist by then, so the edge set is complete).
+	waits  int
+	blocks []*ticket
+	// ready is closed when waits reaches zero (at registration for a
+	// conflict-free ticket).
+	ready chan struct{}
 }
+
+// pruneEvery throttles the envelope/wave log prune: the minimum-bound
+// scan is O(nodes), so running it once per admitted batch instead of
+// once per attempt keeps admission O(conflict degree) at thousands of
+// nodes. Prune only ever drops provably inert transmissions, so the
+// schedule of pruning cannot change any result — only peak memory.
+const pruneEvery = 32
 
 // SchedulerStats reports what the conflict-graph scheduler has done so
 // far — primarily how much exchange-level parallelism geometry allowed.
@@ -62,6 +94,12 @@ type SchedulerStats struct {
 	// WithExchangeProbe); AirtimeS over elapsed virtual time is the
 	// offered channel utilization.
 	AirtimeS float64
+	// ConflictEdges counts the blocking edges the admission gate
+	// recorded between coexisting tickets — the serialization the
+	// geometry actually demanded. Like MaxConcurrent it is a
+	// wall-clock observation (it depends on which attempts happened to
+	// coexist), so it is not deterministic run to run.
+	ConflictEdges int
 	// MaxConcurrent is the peak number of exchanges that were running
 	// simultaneously on worker slots. Unlike the counters above it is a
 	// wall-clock observation: it depends on how exchanges happened to
@@ -105,18 +143,30 @@ func (n *Network) interferes(a1, b1, a2, b2 int) bool {
 	return false
 }
 
-// earlierConflictLocked reports whether any unresolved ticket with a
-// smaller sequence number conflicts with tk.
-func (n *Network) earlierConflictLocked(tk *ticket) bool {
+// registerTicketLocked creates the next-sequence ticket for an
+// exchange on (tx, rx) and records its conflict edges against every
+// unresolved ticket — all earlier, since the sequence is handed out
+// here. The edge list never needs recomputing: later tickets register
+// their own edges, and resolution only removes them.
+func (n *Network) registerTicketLocked(tx, rx int) *ticket {
+	tk := &ticket{seq: n.gateSeq, tx: tx, rx: rx, ready: make(chan struct{})}
+	n.gateSeq++
 	for _, u := range n.tickets {
-		if u.seq < tk.seq && n.interferes(u.tx, u.rx, tk.tx, tk.rx) {
-			return true
+		if n.interferes(u.tx, u.rx, tk.tx, tk.rx) {
+			u.blocks = append(u.blocks, tk)
+			tk.waits++
+			n.stats.ConflictEdges++
 		}
 	}
-	return false
+	n.tickets = append(n.tickets, tk)
+	if tk.waits == 0 {
+		close(tk.ready)
+	}
+	return tk
 }
 
-// resolveLocked removes tk from the unresolved set and wakes waiters.
+// resolveLocked removes tk from the unresolved set and wakes exactly
+// the tickets its resolution unblocks.
 func (n *Network) resolveLocked(tk *ticket) {
 	tk.done = true
 	for i, u := range n.tickets {
@@ -125,22 +175,31 @@ func (n *Network) resolveLocked(tk *ticket) {
 			break
 		}
 	}
-	n.cond.Broadcast()
+	for _, b := range tk.blocks {
+		if b.done {
+			continue // abandoned while waiting (context cancelled)
+		}
+		b.waits--
+		if b.waits == 0 {
+			close(b.ready)
+		}
+	}
+	tk.blocks = nil
 }
 
 // bumpFrontierLocked advances the scoped commit frontier of every node
 // that could have heard a transmission from node x: its next attempt
-// may not start before fS.
+// may not start before fS. The audibility adjacency bounds the walk to
+// x's spatial neighborhood.
 func (n *Network) bumpFrontierLocked(x int, fS float64) {
-	r := n.cfg.csRangeM
-	for idx := range n.frontier {
-		if r > 0 && n.order[x].pos.DistanceTo(n.order[idx].pos) > r {
-			continue
-		}
+	if fS > n.frontier[x] {
+		n.frontier[x] = fS
+	}
+	n.forEachAudibleLocked(x, func(idx int) {
 		if fS > n.frontier[idx] {
 			n.frontier[idx] = fS
 		}
-	}
+	})
 }
 
 // nodeBoundsLocked returns, per node index, the earliest virtual time
@@ -203,20 +262,42 @@ func (n *Network) pruneLocked() {
 	}
 }
 
-// beginAttempt is the per-attempt gate: it registers a ticket, waits
-// for conflicting earlier attempts to resolve, bumps the attempt past
-// the node's scoped frontier, prunes the logs, runs the carrier-sense
-// MAC, and — once granted — claims a worker slot. On success the
-// caller MUST later resolve the ticket through commitAttempt or
-// abortAttempt.
+// maybePruneLocked amortizes pruneLocked across admissions (see
+// pruneEvery).
+func (n *Network) maybePruneLocked() {
+	n.sincePrune++
+	if n.sincePrune < pruneEvery {
+		return
+	}
+	n.sincePrune = 0
+	n.pruneLocked()
+}
+
+// beginAttempt is the per-attempt gate: it registers a ticket with its
+// precomputed conflict edges, parks on the ticket's own ready channel
+// until every conflicting earlier attempt has resolved (distant
+// attempts share no edges and never wake each other), bumps the
+// attempt past the node's scoped frontier, prunes the logs, runs the
+// carrier-sense MAC, and — once granted — claims a worker slot. On
+// success the caller MUST later resolve the ticket through
+// commitAttempt or abortAttempt.
 func (n *Network) beginAttempt(ctx context.Context, nd *Node, peer int, readyS float64) (*ticket, float64, error) {
 	n.mu.Lock()
-	tk := &ticket{seq: n.gateSeq, tx: nd.idx, rx: peer}
-	n.gateSeq++
-	n.tickets = append(n.tickets, tk)
-	for ctx.Err() == nil && n.earlierConflictLocked(tk) {
-		n.cond.Wait()
+	tk := n.registerTicketLocked(nd.idx, peer)
+	n.mu.Unlock()
+
+	select {
+	case <-tk.ready:
+	case <-ctx.Done():
+		n.mu.Lock()
+		if !tk.done {
+			n.resolveLocked(tk)
+		}
+		n.mu.Unlock()
+		return nil, 0, ctx.Err()
 	}
+
+	n.mu.Lock()
 	if err := ctx.Err(); err != nil {
 		n.resolveLocked(tk)
 		n.mu.Unlock()
@@ -225,7 +306,7 @@ func (n *Network) beginAttempt(ctx context.Context, nd *Node, peer int, readyS f
 	if f := n.frontier[nd.idx]; readyS < f {
 		readyS = f
 	}
-	n.pruneLocked()
+	n.maybePruneLocked()
 	start, granted := nd.cont.Acquire(func(tS float64) bool {
 		return n.med.BusyAt(nd.idx, tS)
 	}, readyS, nd.airtimeS, n.cfg.accessDeadlineS)
