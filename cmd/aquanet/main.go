@@ -5,11 +5,16 @@
 // mode goes beyond the paper: it drives a live Network with Poisson
 // offered load per node and reports delivered goodput, latency
 // percentiles, collision fraction and scheduler counters for one
-// offered-load point (the sweep lives in `aquabench -macload`). The
+// offered-load point (the sweep lives in `aquabench -macload`);
+// -async drives the same load fire-and-forget through the per-node
+// transmit queues instead of one blocking goroutine per message. The
 // -relay mode routes a bulk payload down a multi-hop relay line —
 // store-and-forward over the carrier-sense MAC, per-packet band
 // re-adaptation, per-hop progress — and reports end-to-end goodput
-// and latency (the sweep lives in `aquabench -multihop`). The -scale
+// and latency (the sweep lives in `aquabench -multihop`); -pipelined
+// runs the transfer over per-relay transmit queues so packets overlap
+// on non-interfering hops, and -persist/-adaptive-backoff pick the
+// p-persistent slotted MAC and airtime-scaled backoff quanta. The -scale
 // mode builds a harbor-scale deployment — a pod lattice sized by
 // -pods-x/-pods-y/-podsize, spatially reusing the 60-tone space under
 // a bounded carrier-sense range — and relays cross-harbor messages,
@@ -23,8 +28,10 @@
 //	        [-csrange 0] [-preamble-aware]
 //	aquanet -load [-nodes 8] [-rate 0.05] [-duration 120]
 //	        [-mode envelope|waveform] [-no-cs] [-workers 0]
+//	        [-async] [-queue 64]
 //	        [-seed 1] [-env bridge] [-csrange 0] [-preamble-aware]
 //	aquanet -relay [-hops 3] [-spacing 25] [-bulk 32] [-policy minhop]
+//	        [-pipelined] [-queue 64] [-persist 0] [-adaptive-backoff]
 //	        [-mode envelope|waveform] [-seed 1] [-env bridge] [-csrange 0]
 //	aquanet -scale [-pods-x 5] [-pods-y 5] [-podsize 10] [-msgs 8]
 //	        [-workers 0] [-seed 1] [-env bridge] [-csrange 30]
@@ -95,7 +102,8 @@ func parseMode(mode string) (aquago.ContentionMode, error) {
 // rates, bad durations) is rejected by the point's own Validate, so
 // the CLI and the harness cannot drift apart on what is runnable.
 func buildLoadPoint(nodes int, rate, duration float64, mode string, noCS, preambleAware bool,
-	workers int, seed int64, csRange float64, env aquago.Environment) (exp.MacLoadPoint, error) {
+	workers int, async bool, queueCap int, seed int64, csRange float64,
+	env aquago.Environment) (exp.MacLoadPoint, error) {
 	if err := validateCommonFlags(seed, csRange); err != nil {
 		return exp.MacLoadPoint{}, err
 	}
@@ -105,6 +113,9 @@ func buildLoadPoint(nodes int, rate, duration float64, mode string, noCS, preamb
 	}
 	if workers < 0 {
 		return exp.MacLoadPoint{}, fmt.Errorf("-workers %d: use 0 for one per core", workers)
+	}
+	if !async && queueCap != aquago.DefaultTxQueueCap {
+		return exp.MacLoadPoint{}, fmt.Errorf("-queue %d only matters with -async", queueCap)
 	}
 	p := exp.MacLoadPoint{
 		Pods:          1,
@@ -119,6 +130,10 @@ func buildLoadPoint(nodes int, rate, duration float64, mode string, noCS, preamb
 		Retries:       -1,
 		Workers:       workers,
 		Env:           env,
+	}
+	if async {
+		p.Queued = true
+		p.QueueCap = queueCap
 	}
 	if err := p.Validate(); err != nil {
 		return exp.MacLoadPoint{}, err
@@ -172,6 +187,7 @@ func parsePolicy(policy string) (aquago.RoutingPolicy, error) {
 // measurement point. Hop-count, spacing and payload abuse is rejected
 // by the point's own Validate, shared with the multihop harness.
 func buildRelayPoint(hops int, spacing float64, bulk int, mode, policy string,
+	pipelined bool, queueCap int, persist float64, adaptiveBackoff bool,
 	seed int64, csRange float64, env aquago.Environment) (exp.MultiHopPoint, error) {
 	if err := validateCommonFlags(seed, csRange); err != nil {
 		return exp.MultiHopPoint{}, err
@@ -184,16 +200,25 @@ func buildRelayPoint(hops int, spacing float64, bulk int, mode, policy string,
 	if err != nil {
 		return exp.MultiHopPoint{}, err
 	}
+	if !pipelined && queueCap != aquago.DefaultTxQueueCap {
+		return exp.MultiHopPoint{}, fmt.Errorf("-queue %d only matters with -pipelined", queueCap)
+	}
 	p := exp.MultiHopPoint{
-		Hops:         hops,
-		SpacingM:     spacing,
-		CSRangeM:     csRange,
-		PayloadBytes: bulk,
-		Mode:         m,
-		Policy:       pol,
-		Seed:         seed,
-		Retries:      -1,
-		Env:          env,
+		Hops:            hops,
+		SpacingM:        spacing,
+		CSRangeM:        csRange,
+		PayloadBytes:    bulk,
+		Mode:            m,
+		Policy:          pol,
+		Persist:         persist,
+		AdaptiveBackoff: adaptiveBackoff,
+		Seed:            seed,
+		Retries:         -1,
+		Env:             env,
+	}
+	if pipelined {
+		p.Pipelined = true
+		p.QueueCap = queueCap
 	}
 	if err := p.Validate(); err != nil {
 		return exp.MultiHopPoint{}, err
@@ -217,7 +242,13 @@ func main() {
 	mode := flag.String("mode", "envelope", "contention mode: envelope or waveform (-load)")
 	noCS := flag.Bool("no-cs", false, "disable carrier sense (-load; Fig 19 mode always runs both)")
 	workers := flag.Int("workers", 0, "network scheduler worker slots, 0 = one per core (-load)")
+	async := flag.Bool("async", false, "drive the load through the async transmit queues, fire-and-forget (-load)")
+	queueCap := flag.Int("queue", aquago.DefaultTxQueueCap,
+		"per-node transmit queue capacity (-load -async, -relay -pipelined)")
 	relay := flag.Bool("relay", false, "relay mode: route a bulk payload down a multi-hop line")
+	pipelined := flag.Bool("pipelined", false, "pipeline the bulk transfer over per-relay transmit queues (-relay)")
+	persist := flag.Float64("persist", 0, "p-persistent MAC transmit probability in (0,1], 0 = classic backoff (-relay)")
+	adaptiveBackoff := flag.Bool("adaptive-backoff", false, "scale MAC backoff quanta to the adapted band's airtime (-relay)")
 	hops := flag.Int("hops", 3, "relay path length in hops (-relay)")
 	spacing := flag.Float64("spacing", 25, "distance between adjacent relay nodes in meters (-relay)")
 	bulk := flag.Int("bulk", 32, "bulk payload size in bytes (-relay)")
@@ -252,7 +283,8 @@ func main() {
 		return
 	}
 	if *relay {
-		pt, err := buildRelayPoint(*hops, *spacing, *bulk, *mode, *policy, *seed, *csRange, env)
+		pt, err := buildRelayPoint(*hops, *spacing, *bulk, *mode, *policy,
+			*pipelined, *queueCap, *persist, *adaptiveBackoff, *seed, *csRange, env)
 		if err != nil {
 			fatal(err)
 		}
@@ -261,7 +293,7 @@ func main() {
 	}
 	if *load {
 		pt, err := buildLoadPoint(*nodes, *rate, *duration, *mode, *noCS, *preambleAware,
-			*workers, *seed, *csRange, env)
+			*workers, *async, *queueCap, *seed, *csRange, env)
 		if err != nil {
 			fatal(err)
 		}
@@ -288,8 +320,12 @@ func runLoad(pt exp.MacLoadPoint, envName string) {
 	case pt.PreambleAware:
 		sensing = "preamble-aware carrier sense"
 	}
-	fmt.Printf("Offered-load simulation: %d nodes, %.3g msg/s/node over %.4g s, %s, %s mode, %s\n",
-		pt.PodSize, pt.RateHz, pt.DurationS, envName, modeName, sensing)
+	driver := "blocking sends"
+	if pt.Queued {
+		driver = fmt.Sprintf("async transmit queues (cap %d)", pt.QueueCap)
+	}
+	fmt.Printf("Offered-load simulation: %d nodes, %.3g msg/s/node over %.4g s, %s, %s mode, %s, %s\n",
+		pt.PodSize, pt.RateHz, pt.DurationS, envName, modeName, sensing, driver)
 	res, err := exp.RunMacLoadPoint(pt)
 	if err != nil {
 		fatal(err)
@@ -317,8 +353,12 @@ func runRelay(pt exp.MultiHopPoint, envName string) {
 	if pt.Mode == aquago.WaveformContention {
 		modeName = "waveform"
 	}
-	fmt.Printf("Relay simulation: %d bytes over %d hops (%g m spacing), %s, %s mode, %v routing\n",
-		pt.PayloadBytes, pt.Hops, pt.SpacingM, envName, modeName, pt.Policy)
+	transfer := "store-and-forward"
+	if pt.Pipelined {
+		transfer = fmt.Sprintf("pipelined (queue cap %d)", pt.QueueCap)
+	}
+	fmt.Printf("Relay simulation: %d bytes over %d hops (%g m spacing), %s, %s mode, %v routing, %s\n",
+		pt.PayloadBytes, pt.Hops, pt.SpacingM, envName, modeName, pt.Policy, transfer)
 	// Per-hop progress: one line per completed hop exchange (the data
 	// stage carries the band the packet re-adapted onto).
 	pt.Trace = aquago.TraceFunc(func(ev aquago.StageEvent) {

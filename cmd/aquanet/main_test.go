@@ -61,10 +61,13 @@ func TestBuildLoadPoint(t *testing.T) {
 		noCS          bool
 		preambleAware bool
 		workers       int
+		async         bool
+		queueCap      int
 		seed          int64
 		csRange       float64
 	}
-	good := args{nodes: 8, rate: 0.05, dur: 120, mode: "envelope", seed: 1}
+	good := args{nodes: 8, rate: 0.05, dur: 120, mode: "envelope",
+		queueCap: aquago.DefaultTxQueueCap, seed: 1}
 	cases := []struct {
 		name    string
 		mutate  func(*args)
@@ -85,6 +88,11 @@ func TestBuildLoadPoint(t *testing.T) {
 		{"runaway schedule", func(a *args) { a.rate = 500; a.dur = 1e6 }, "cap"},
 		{"bad mode", func(a *args) { a.mode = "acoustic" }, "pick envelope or waveform"},
 		{"negative workers", func(a *args) { a.workers = -2 }, "-workers"},
+		{"async default queue", func(a *args) { a.async = true }, ""},
+		{"async tight queue", func(a *args) { a.async = true; a.queueCap = 16 }, ""},
+		{"zero queue capacity", func(a *args) { a.async = true; a.queueCap = 0 }, "capacity"},
+		{"negative queue capacity", func(a *args) { a.async = true; a.queueCap = -4 }, "capacity"},
+		{"queue without async", func(a *args) { a.queueCap = 16 }, "-async"},
 		{"negative seed", func(a *args) { a.seed = -1 }, "out of range"},
 		{"NaN csrange", func(a *args) { a.csRange = math.NaN() }, "not a finite distance"},
 		{"negative csrange", func(a *args) { a.csRange = -3 }, "cannot be negative"},
@@ -93,7 +101,7 @@ func TestBuildLoadPoint(t *testing.T) {
 		a := good
 		tc.mutate(&a)
 		pt, err := buildLoadPoint(a.nodes, a.rate, a.dur, a.mode, a.noCS, a.preambleAware,
-			a.workers, a.seed, a.csRange, aquago.Bridge)
+			a.workers, a.async, a.queueCap, a.seed, a.csRange, aquago.Bridge)
 		switch {
 		case tc.wantErr == "" && err != nil:
 			t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -105,6 +113,9 @@ func TestBuildLoadPoint(t *testing.T) {
 			if pt.PodSize != a.nodes || pt.Pods != 1 || pt.RateHz != a.rate ||
 				pt.DurationS != a.dur || pt.CarrierSense == a.noCS {
 				t.Errorf("%s: flags did not map onto the point: %+v", tc.name, pt)
+			}
+			if pt.Queued != a.async || (a.async && pt.QueueCap != a.queueCap) {
+				t.Errorf("%s: async flags did not map onto the point: %+v", tc.name, pt)
 			}
 		}
 	}
@@ -167,15 +178,20 @@ func TestBuildScalePoint(t *testing.T) {
 // harness cannot drift apart on what is runnable.
 func TestBuildRelayPoint(t *testing.T) {
 	type args struct {
-		hops    int
-		spacing float64
-		bulk    int
-		mode    string
-		policy  string
-		seed    int64
-		csRange float64
+		hops      int
+		spacing   float64
+		bulk      int
+		mode      string
+		policy    string
+		pipelined bool
+		queueCap  int
+		persist   float64
+		adaptive  bool
+		seed      int64
+		csRange   float64
 	}
-	good := args{hops: 3, spacing: 25, bulk: 32, mode: "envelope", policy: "minhop", seed: 1}
+	good := args{hops: 3, spacing: 25, bulk: 32, mode: "envelope", policy: "minhop",
+		queueCap: aquago.DefaultTxQueueCap, seed: 1}
 	cases := []struct {
 		name    string
 		mutate  func(*args)
@@ -193,6 +209,17 @@ func TestBuildRelayPoint(t *testing.T) {
 		{"huge payload", func(a *args) { a.bulk = 1 << 20 }, "cap"},
 		{"bad mode", func(a *args) { a.mode = "sonar" }, "pick envelope or waveform"},
 		{"bad policy", func(a *args) { a.policy = "hottest-gossip" }, "pick minhop or minetx"},
+		{"pipelined defaults", func(a *args) { a.pipelined = true }, ""},
+		{"pipelined persistent adaptive", func(a *args) {
+			a.pipelined = true
+			a.persist = 0.7
+			a.adaptive = true
+		}, ""},
+		{"zero queue capacity", func(a *args) { a.pipelined = true; a.queueCap = 0 }, "capacity"},
+		{"queue without pipelined", func(a *args) { a.queueCap = 8 }, "-pipelined"},
+		{"NaN persist", func(a *args) { a.persist = math.NaN() }, "persistence"},
+		{"negative persist", func(a *args) { a.persist = -0.2 }, "persistence"},
+		{"persist above one", func(a *args) { a.persist = 1.5 }, "persistence"},
 		{"negative seed", func(a *args) { a.seed = -1 }, "out of range"},
 		{"negative csrange", func(a *args) { a.csRange = -3 }, "cannot be negative"},
 	}
@@ -200,7 +227,7 @@ func TestBuildRelayPoint(t *testing.T) {
 		a := good
 		tc.mutate(&a)
 		pt, err := buildRelayPoint(a.hops, a.spacing, a.bulk, a.mode, a.policy,
-			a.seed, a.csRange, aquago.Bridge)
+			a.pipelined, a.queueCap, a.persist, a.adaptive, a.seed, a.csRange, aquago.Bridge)
 		switch {
 		case tc.wantErr == "" && err != nil:
 			t.Errorf("%s: unexpected error %v", tc.name, err)
@@ -212,6 +239,10 @@ func TestBuildRelayPoint(t *testing.T) {
 			if pt.Hops != a.hops || pt.SpacingM != a.spacing || pt.PayloadBytes != a.bulk ||
 				pt.Retries != -1 {
 				t.Errorf("%s: flags did not map onto the point: %+v", tc.name, pt)
+			}
+			if pt.Pipelined != a.pipelined || (a.pipelined && pt.QueueCap != a.queueCap) ||
+				pt.Persist != a.persist || pt.AdaptiveBackoff != a.adaptive {
+				t.Errorf("%s: pipelined flags did not map onto the point: %+v", tc.name, pt)
 			}
 		}
 	}

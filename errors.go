@@ -62,6 +62,21 @@ var (
 	ErrNoBand = phy.ErrNoBand
 	// ErrInvalidBand: band edges that do not fit the modem numerology.
 	ErrInvalidBand = phy.ErrInvalidBand
+
+	// The async transmit queue's taxonomy (txq.go). ErrQueueFull: an
+	// Enqueue/SendAsync found the node's transmit queue at capacity
+	// (WithTxQueueCapacity) — the caller owns the backpressure
+	// decision, so the job is rejected immediately instead of blocking.
+	ErrQueueFull = errors.New("aquago: transmit queue full")
+	// ErrTxCancelled: a queued transmission was cancelled before it
+	// completed — TxHandle.Cancel, or the enqueue context expiring. A
+	// job cancelled mid-exchange additionally wraps the context's own
+	// error.
+	ErrTxCancelled = errors.New("aquago: queued transmission cancelled")
+	// ErrNodeLeft: the node departed the network (Node.Leave). Queued
+	// work drains with this error, and new sends from — or addressed
+	// to — the departed node are refused with it.
+	ErrNodeLeft = errors.New("aquago: node left the network")
 )
 
 // ChannelBusyError is the concrete error behind ErrChannelBusy: the

@@ -3,8 +3,9 @@
 // paper's energy-detection MAC (80 ms sensing, packet-quantum random
 // backoff) collisions nearly vanish (Fig 19). Everything runs on the
 // public Network API: a batch contention simulation first, then live
-// concurrent sends whose protocol stages a Trace observes, and
-// finally a peek under the hood at what a collision physically is.
+// fire-and-forget sends through the per-node transmit queues whose
+// protocol stages a Trace observes, and finally a peek under the hood
+// at what a collision physically is.
 //
 //	go run ./examples/macnetwork
 package main
@@ -13,7 +14,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"sync"
 	"sync/atomic"
 
 	"aquago"
@@ -66,30 +66,35 @@ func main() {
 		}
 	}
 
-	// Live traffic: all three divers send concurrently; the MAC
-	// serializes them on the shared virtual timeline while a trace
-	// counts protocol stages.
+	// Live traffic: all three divers hand their message to the async
+	// transmit subsystem and move on; each node's transmit daemon runs
+	// the MAC on the shared virtual timeline while a trace counts
+	// protocol stages. Completions arrive on the network's delivery
+	// queue, and Flush waits for the queues to drain.
 	var stages atomic.Int64
 	net, tx := build(
 		aquago.WithNetworkSeed(11),
 		aquago.WithNetworkTrace(aquago.TraceFunc(func(aquago.StageEvent) { stages.Add(1) })))
 	okMsg, _ := aquago.LookupMessage("OK?")
-	var delivered atomic.Int64
-	var wg sync.WaitGroup
+	deliveries := net.Deliveries()
 	for _, nd := range tx {
-		wg.Add(1)
-		go func(nd *aquago.Node) {
-			defer wg.Done()
-			res, err := nd.Send(context.Background(), 0, okMsg.ID)
-			if err == nil && res.Delivered {
-				delivered.Add(1)
-			}
-		}(nd)
+		if _, err := nd.SendAsync(context.Background(), 0, okMsg.ID); err != nil {
+			log.Fatal(err)
+		}
 	}
-	wg.Wait()
+	if err := net.Flush(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	delivered := 0
+	for range tx {
+		d := <-deliveries
+		if d.Err == nil && d.Result.Delivered {
+			delivered++
+		}
+	}
 	_, frac := net.CollisionStats()
-	fmt.Printf("\nlive concurrent sends: %d/3 delivered, %.0f%% collided, %d stage events traced\n",
-		delivered.Load(), 100*frac, stages.Load())
+	fmt.Printf("\nlive queued sends: %d/3 delivered, %.0f%% collided, %d stage events traced\n",
+		delivered, 100*frac, stages.Load())
 
 	// What a collision physically is: two packets overlapping in the
 	// receiver's ear. This part peeks below the public API at the

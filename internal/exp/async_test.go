@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"aquago"
+)
+
+// normalizeSched zeroes the two wall-clock observation fields so
+// deep-equality compares only the deterministic part of a result.
+func normalizeSched(r MacLoadResult) MacLoadResult {
+	r.Sched.MaxConcurrent = 0
+	r.Sched.Workers = 0
+	return r
+}
+
+// TestMacLoadQueuedGoldenSeedsWorkers is the queued-driver golden:
+// the fire-and-forget load driven through the async transmit
+// subsystem must produce deeply equal measurements across network
+// worker counts, for several seeds, in both contention modes — the
+// dispatch gate's determinism contract, pinned end to end.
+func TestMacLoadQueuedGoldenSeedsWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs live-network load points repeatedly")
+	}
+	cases := []struct {
+		mode aquago.ContentionMode
+		name string
+		size int
+		rate float64
+		dur  float64
+	}{
+		{aquago.EnvelopeContention, "envelope", 4, 0.05, 60},
+		{aquago.WaveformContention, "waveform", 3, 0.04, 50},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range []int64{3, 11} {
+				var ref MacLoadResult
+				for i, workers := range []int{1, 8} {
+					got, err := RunMacLoadPoint(MacLoadPoint{
+						Pods: 1, PodSize: tc.size,
+						RateHz: tc.rate, DurationS: tc.dur,
+						Mode:         tc.mode,
+						CarrierSense: true,
+						Seed:         seed,
+						Retries:      -1,
+						Workers:      workers,
+						Queued:       true,
+						QueueCap:     aquago.DefaultTxQueueCap,
+					})
+					if err != nil {
+						t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+					}
+					got = normalizeSched(got)
+					if got.OfferedMsgs == 0 {
+						t.Fatalf("seed %d: schedule offered no messages", seed)
+					}
+					if got.DeliveredMsgs == 0 {
+						t.Fatalf("seed %d: nothing delivered: %+v", seed, got)
+					}
+					if i == 0 {
+						ref = got
+						continue
+					}
+					if !reflect.DeepEqual(ref, got) {
+						t.Fatalf("seed %d: queued load is worker-count dependent\nworkers=1: %+v\nworkers=%d: %+v",
+							seed, ref, workers, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMacLoadQueuedValidate covers the queued driver's error paths in
+// the point taxonomy.
+func TestMacLoadQueuedValidate(t *testing.T) {
+	base := MacLoadPoint{
+		Pods: 1, PodSize: 3, RateHz: 0.05, DurationS: 30,
+		Mode: aquago.EnvelopeContention, Seed: 1,
+	}
+	zeroCap := base
+	zeroCap.Queued = true
+	if err := zeroCap.Validate(); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("zero queue capacity accepted: %v", err)
+	}
+	capless := base
+	capless.QueueCap = 8
+	if err := capless.Validate(); err == nil || !strings.Contains(err.Error(), "without queued") {
+		t.Fatalf("queue capacity without queued mode accepted: %v", err)
+	}
+	nanRate := base
+	nanRate.Queued, nanRate.QueueCap = true, 8
+	nanRate.RateHz = math.NaN()
+	if err := nanRate.Validate(); err == nil {
+		t.Fatal("NaN rate accepted in queued mode")
+	}
+	negRate := base
+	negRate.Queued, negRate.QueueCap = true, 8
+	negRate.RateHz = -0.5
+	if err := negRate.Validate(); err == nil {
+		t.Fatal("negative rate accepted in queued mode")
+	}
+	ok := base
+	ok.Queued, ok.QueueCap = true, 1
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("minimal queued point rejected: %v", err)
+	}
+}
+
+// TestMacLoadQueuedCapacityPrecheck: a queue capacity below a node's
+// scheduled backlog must fail deterministically up front, not as a
+// racy ErrQueueFull mid-run.
+func TestMacLoadQueuedCapacityPrecheck(t *testing.T) {
+	_, err := RunMacLoadPoint(MacLoadPoint{
+		Pods: 1, PodSize: 3, RateHz: 0.2, DurationS: 60,
+		Mode: aquago.EnvelopeContention, CarrierSense: true,
+		Seed: 3, Retries: -1,
+		Queued: true, QueueCap: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "below node") {
+		t.Fatalf("undersized queue not prechecked: %v", err)
+	}
+}
+
+// TestMultiHopPipelinedOutpacesSequential pins the tentpole claim:
+// on the 3-hop line, the pipelined transfer over per-relay transmit
+// queues with the p-persistent MAC and adaptive backoff quanta
+// delivers everything and beats the sequential store-and-forward
+// goodput.
+func TestMultiHopPipelinedOutpacesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full adaptive exchanges per hop")
+	}
+	base := MultiHopPoint{
+		Hops: 3, PayloadBytes: 8, Mode: aquago.EnvelopeContention,
+		Seed: 1, Retries: -1,
+	}
+	seq, err := RunMultiHopPoint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := base
+	pipe.Pipelined = true
+	pipe.QueueCap = aquago.DefaultTxQueueCap
+	pipe.Persist = 0.7
+	pipe.AdaptiveBackoff = true
+	pip, err := RunMultiHopPoint(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pip.DeliveredPackets != pip.Packets {
+		t.Fatalf("pipelined transfer dropped packets: %+v", pip)
+	}
+	if pip.GoodputBPS <= seq.GoodputBPS {
+		t.Fatalf("pipelined goodput %.2f bps does not beat sequential %.2f bps",
+			pip.GoodputBPS, seq.GoodputBPS)
+	}
+	t.Logf("3-hop envelope bulk: pipelined %.2f bps vs sequential %.2f bps", pip.GoodputBPS, seq.GoodputBPS)
+}
+
+// TestMultiHopPipelinedValidate covers the pipelined point's error
+// paths.
+func TestMultiHopPipelinedValidate(t *testing.T) {
+	base := MultiHopPoint{Hops: 2, PayloadBytes: 4, Mode: aquago.EnvelopeContention}
+	zeroCap := base
+	zeroCap.Pipelined = true
+	if err := zeroCap.Validate(); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("zero queue capacity accepted: %v", err)
+	}
+	capless := base
+	capless.QueueCap = 8
+	if err := capless.Validate(); err == nil || !strings.Contains(err.Error(), "without pipelined") {
+		t.Fatalf("queue capacity without pipelined mode accepted: %v", err)
+	}
+	for _, persist := range []float64{math.NaN(), -0.2, 1.3} {
+		p := base
+		p.Persist = persist
+		if err := p.Validate(); err == nil {
+			t.Fatalf("persistence %v accepted", persist)
+		}
+	}
+	ok := base
+	ok.Pipelined, ok.QueueCap, ok.Persist = true, 1, 1
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("minimal pipelined point rejected: %v", err)
+	}
+}

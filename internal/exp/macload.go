@@ -76,6 +76,15 @@ type MacLoadPoint struct {
 	Workers int
 	// Env is the deployment site (zero value = Bridge).
 	Env aquago.Environment
+	// Queued drives the load through the async transmit subsystem
+	// instead of one blocking Send per goroutine: the driver enqueues
+	// every scheduled message fire-and-forget (NotBeforeS = arrival
+	// time) and the per-node transmit daemons do the rest.
+	Queued bool
+	// QueueCap sizes each node's transmit queue in queued mode
+	// (required, at least 1 — aquago.DefaultTxQueueCap is the usual
+	// choice); setting it without Queued is an error.
+	QueueCap int
 }
 
 // Validate rejects parameter combinations that cannot run or would
@@ -102,6 +111,10 @@ func (p MacLoadPoint) Validate() error {
 			float64(nodes)*p.RateHz*p.DurationS, maxOfferedMsgs)
 	case p.Mode != aquago.EnvelopeContention && p.Mode != aquago.WaveformContention:
 		return fmt.Errorf("macload: unknown contention mode %d", p.Mode)
+	case p.Queued && p.QueueCap < 1:
+		return fmt.Errorf("macload: queued mode needs a transmit queue capacity of at least 1, got %d", p.QueueCap)
+	case !p.Queued && p.QueueCap != 0:
+		return fmt.Errorf("macload: queue capacity %d set without queued mode", p.QueueCap)
 	}
 	return nil
 }
@@ -259,6 +272,9 @@ func RunMacLoadPoint(p MacLoadPoint) (MacLoadResult, error) {
 	if p.Retries >= 0 {
 		opts = append(opts, aquago.WithNetworkRetries(p.Retries))
 	}
+	if p.Queued {
+		opts = append(opts, aquago.WithTxQueueCapacity(p.QueueCap))
+	}
 
 	// The probe records, per transmitter, when its latest committed
 	// attempt left the air — the completion instant latency is measured
@@ -304,6 +320,77 @@ func RunMacLoadPoint(p MacLoadPoint) (MacLoadResult, error) {
 	var latencies []float64
 	var firstErr error
 	ctx := context.Background()
+
+	if p.Queued {
+		// Fire-and-forget driver: enqueue the whole schedule from this
+		// one goroutine in arrival order — the deterministic enqueue
+		// pattern the transmit queue's dispatch gate turns into a
+		// worker-count-invariant execution — then wait the handles out.
+		// No AdvanceClock: each job's NotBeforeS floors its contention
+		// start at the arrival instant. Occupancy at enqueue time races
+		// with completions, so capacity is prechecked against each
+		// node's whole scheduled backlog rather than discovered as a
+		// nondeterministic ErrQueueFull.
+		perNode := make([]int, len(nodes))
+		for _, m := range schedule {
+			perNode[m.node]++
+		}
+		for i, c := range perNode {
+			if c > p.QueueCap {
+				return MacLoadResult{}, fmt.Errorf(
+					"macload: queue capacity %d below node %d's %d scheduled messages (raise -queue or lower the load)",
+					p.QueueCap, i, c)
+			}
+		}
+		handles := make([]*aquago.TxHandle, len(schedule))
+		for i, m := range schedule {
+			h, err := nodes[m.node].Enqueue(ctx, aquago.TxJob{
+				Dst:        aquago.DeviceID(m.dst),
+				Msgs:       []uint8{m.first, m.second},
+				Priority:   aquago.TxNormal,
+				NotBeforeS: m.atS,
+			})
+			if err != nil {
+				return MacLoadResult{}, fmt.Errorf("macload: enqueue node %d at %.2fs: %w", m.node, m.atS, err)
+			}
+			handles[i] = h
+		}
+		for i, h := range handles {
+			m := schedule[i]
+			sres, err := h.Wait(ctx)
+			switch {
+			case err == nil || errors.Is(err, aquago.ErrNoACK):
+				if errors.Is(err, aquago.ErrNoACK) {
+					res.NoACKs++
+				}
+				if sres.Delivered {
+					res.DeliveredMsgs++
+					if sres.Attempts > 0 {
+						latencies = append(latencies, h.EndS()-m.atS)
+					}
+				}
+			case errors.Is(err, aquago.ErrChannelBusy):
+				res.BusyDrops++
+			default:
+				return MacLoadResult{}, fmt.Errorf("macload: node %d -> %d at %.2fs: %w", m.node, m.dst, m.atS, err)
+			}
+		}
+		// ConflictWidth stays 0: the queue's dispatch gate, not the
+		// prefix batcher, owns concurrency in queued mode.
+		probeMu.Lock()
+		if maxFinish > res.MakespanS {
+			res.MakespanS = maxFinish
+		}
+		probeMu.Unlock()
+		res.GoodputBPS = float64(res.DeliveredMsgs*messageBits) / res.MakespanS
+		_, res.CollisionFraction = net.CollisionStats()
+		res.Sched = net.SchedulerStats()
+		res.LatencyP50S = percentile(latencies, 0.50)
+		res.LatencyP90S = percentile(latencies, 0.90)
+		res.LatencyP99S = percentile(latencies, 0.99)
+		return res, nil
+	}
+
 	runOne := func(m loadMsg) {
 		nd := nodes[m.node]
 		nd.AdvanceClock(m.atS)

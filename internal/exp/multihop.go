@@ -58,6 +58,26 @@ type MultiHopPoint struct {
 	// (cmd/aquanet -relay prints per-hop progress through it). It does
 	// not influence results.
 	Trace aquago.Trace
+	// Pipelined runs the transfer through the async transmit
+	// subsystem (SendBulkViaPipelined): every relay store-and-forwards
+	// from its own transmit queue, so packets overlap wherever hops do
+	// not interfere.
+	Pipelined bool
+	// QueueCap sizes each node's transmit queue in pipelined mode
+	// (required, at least 1 — aquago.DefaultTxQueueCap is the usual
+	// choice); setting it without Pipelined is an error.
+	QueueCap int
+	// Persist, in (0, 1], switches the MAC to p-persistent slotted
+	// contention with that transmit probability (0 keeps the paper's
+	// accumulating random backoff).
+	Persist float64
+	// AdaptiveBackoff scales each node's backoff quantum to its last
+	// committed exchange's actual airtime instead of the full-band
+	// worst case.
+	AdaptiveBackoff bool
+	// Workers sizes the network's scheduler pool (results are
+	// worker-count independent).
+	Workers int
 }
 
 // withDefaults resolves the derived knobs.
@@ -94,6 +114,12 @@ func (p MultiHopPoint) Validate() error {
 		return fmt.Errorf("multihop: unknown contention mode %d", p.Mode)
 	case p.Policy != aquago.MinHop && p.Policy != aquago.MinETX:
 		return fmt.Errorf("multihop: unknown routing policy %d", int(p.Policy))
+	case math.IsNaN(p.Persist) || p.Persist < 0 || p.Persist > 1:
+		return fmt.Errorf("multihop: transmit persistence %v outside (0, 1]", p.Persist)
+	case p.Pipelined && p.QueueCap < 1:
+		return fmt.Errorf("multihop: pipelined mode needs a transmit queue capacity of at least 1, got %d", p.QueueCap)
+	case !p.Pipelined && p.QueueCap != 0:
+		return fmt.Errorf("multihop: queue capacity %d set without pipelined mode", p.QueueCap)
 	}
 	return nil
 }
@@ -127,12 +153,22 @@ func RunMultiHopPoint(p MultiHopPoint) (MultiHopResult, error) {
 		aquago.WithContentionMode(p.Mode),
 		aquago.WithCSRange(p.CSRangeM),
 		aquago.WithRouting(p.Policy),
+		aquago.WithNetworkWorkers(p.Workers),
 	}
 	if p.Retries >= 0 {
 		opts = append(opts, aquago.WithNetworkRetries(p.Retries))
 	}
 	if p.Trace != nil {
 		opts = append(opts, aquago.WithNetworkTrace(p.Trace))
+	}
+	if p.Pipelined {
+		opts = append(opts, aquago.WithTxQueueCapacity(p.QueueCap))
+	}
+	if p.Persist > 0 {
+		opts = append(opts, aquago.WithPPersistence(p.Persist))
+	}
+	if p.AdaptiveBackoff {
+		opts = append(opts, aquago.WithAdaptiveBackoff())
 	}
 	net, err := aquago.NewNetwork(env, opts...)
 	if err != nil {
@@ -151,7 +187,11 @@ func RunMultiHopPoint(p MultiHopPoint) (MultiHopResult, error) {
 	payload := make([]byte, p.PayloadBytes)
 	rand.New(rand.NewSource(p.Seed*9241 + 5)).Read(payload)
 
-	res, err := nodes[0].SendBulk(context.Background(), aquago.DeviceID(p.Hops), payload)
+	send := nodes[0].SendBulk
+	if p.Pipelined {
+		send = nodes[0].SendBulkPipelined
+	}
+	res, err := send(context.Background(), aquago.DeviceID(p.Hops), payload)
 	out := MultiHopResult{
 		Hops:             len(res.Path) - 1,
 		Packets:          res.Packets,
@@ -517,6 +557,13 @@ type multiHopSweep struct {
 	loadTopos []MultiHopLoadPoint
 	// targetMsgs sizes each load point's arrival window.
 	targetMsgs int
+	// pipeHops lists hop counts for the pipelined-bulk series
+	// (envelope mode, async transmit queues); empty skips it.
+	pipeHops []int
+	// pipePersist / pipeAdaptive configure the pipelined series' MAC:
+	// p-persistent slotted contention and adaptive backoff quanta.
+	pipePersist  float64
+	pipeAdaptive bool
 }
 
 func defaultMultiHopSweep(quick bool) multiHopSweep {
@@ -531,6 +578,9 @@ func defaultMultiHopSweep(quick bool) multiHopSweep {
 			utils:        []float64{0.3, 0.9},
 			loadTopos:    []MultiHopLoadPoint{{Topo: "line", A: 4}, grid, pods},
 			targetMsgs:   10,
+			pipeHops:     []int{1, 2, 3},
+			pipePersist:  0.7,
+			pipeAdaptive: true,
 		}
 	}
 	return multiHopSweep{
@@ -540,6 +590,9 @@ func defaultMultiHopSweep(quick bool) multiHopSweep {
 		utils:        logspace(0.1, 1.5, 8),
 		loadTopos:    []MultiHopLoadPoint{line, grid, pods},
 		targetMsgs:   24,
+		pipeHops:     []int{1, 2, 3, 4, 5},
+		pipePersist:  0.7,
+		pipeAdaptive: true,
 	}
 }
 
@@ -612,6 +665,57 @@ func multiHopReport(cfg RunConfig, sw multiHopSweep) (Report, error) {
 			"%s bulk (%d B): %.0f hop(s) %.1f bps / %.1f s -> %.0f hops %.1f bps / %.1f s (store-and-forward divides goodput by path length)",
 			modeName[mode], sw.payloadBytes, good.X[first], good.Y[first], lat.Y[first],
 			good.X[last], good.Y[last], lat.Y[last]))
+	}
+
+	// Axis 1b: the same envelope bulk transfers through the async
+	// transmit subsystem — pipelined store-and-forward from per-relay
+	// queues, the p-persistent slotted MAC and adaptive backoff quanta.
+	if len(sw.pipeHops) > 0 {
+		pipeResults, err := parallelMap(cfg.Workers, len(sw.pipeHops), func(i int) (MultiHopResult, error) {
+			return RunMultiHopPoint(MultiHopPoint{
+				Hops:         sw.pipeHops[i],
+				PayloadBytes: sw.payloadBytes,
+				Mode:         aquago.EnvelopeContention,
+				// Seed matches the sequential envelope point at the same
+				// index, so the two series differ only in machinery.
+				Seed:            cfg.Seed + int64(i)*3571,
+				Retries:         -1,
+				Pipelined:       true,
+				QueueCap:        aquago.DefaultTxQueueCap,
+				Persist:         sw.pipePersist,
+				AdaptiveBackoff: sw.pipeAdaptive,
+			})
+		})
+		if err != nil {
+			return rep, err
+		}
+		good := Series{Name: "pipelined bulk goodput vs hops (envelope)",
+			XLabel: "hops", YLabel: "goodput bps"}
+		lat := Series{Name: "pipelined bulk e2e latency vs hops (envelope)",
+			XLabel: "hops", YLabel: "latency s"}
+		for i, h := range sw.pipeHops {
+			good.X = append(good.X, float64(h))
+			good.Y = append(good.Y, pipeResults[i].GoodputBPS)
+			lat.X = append(lat.X, float64(h))
+			lat.Y = append(lat.Y, pipeResults[i].LatencyS)
+		}
+		rep.Series = append(rep.Series, good, lat)
+		// Headline the deepest hop count both series cover.
+		seq := map[int]float64{}
+		for i, c := range hopCoords {
+			if c.mode == aquago.EnvelopeContention {
+				seq[c.hops] = hopResults[i].GoodputBPS
+			}
+		}
+		for i := len(sw.pipeHops) - 1; i >= 0; i-- {
+			h := sw.pipeHops[i]
+			if s, ok := seq[h]; ok {
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"pipelined envelope bulk (%d B, persist %.2g, adaptive quanta): %d hops %.1f bps vs %.1f bps sequential",
+					sw.payloadBytes, sw.pipePersist, h, pipeResults[i].GoodputBPS, s))
+				break
+			}
+		}
 	}
 
 	// Axis 2: relayed offered load per topology.

@@ -23,7 +23,10 @@ func tinyMultiHopSweep() multiHopSweep {
 			{Topo: "line", A: 4},
 			{Topo: "pods", A: 2, B: 3},
 		},
-		targetMsgs: 6,
+		targetMsgs:   6,
+		pipeHops:     []int{1, 3},
+		pipePersist:  0.7,
+		pipeAdaptive: true,
 	}
 }
 
@@ -54,7 +57,7 @@ func TestMultiHopGoldenSeedsWorkers(t *testing.T) {
 		}
 		// The tables must not be vacuous: goodput present for both
 		// contention modes and for the relayed-load axis.
-		var envSeen, waveSeen, loadSeen bool
+		var envSeen, waveSeen, loadSeen, pipeSeen bool
 		for _, s := range serial.Series {
 			if !strings.Contains(s.Name, "goodput") {
 				continue
@@ -63,6 +66,8 @@ func TestMultiHopGoldenSeedsWorkers(t *testing.T) {
 				t.Fatalf("seed %d: empty goodput series %q", seed, s.Name)
 			}
 			switch {
+			case strings.Contains(s.Name, "pipelined"):
+				pipeSeen = true
 			case strings.Contains(s.Name, "envelope"):
 				envSeen = true
 			case strings.Contains(s.Name, "waveform"):
@@ -71,9 +76,9 @@ func TestMultiHopGoldenSeedsWorkers(t *testing.T) {
 				loadSeen = true
 			}
 		}
-		if !envSeen || !waveSeen || !loadSeen {
-			t.Fatalf("seed %d: goodput series missing an axis (envelope %v, waveform %v, load %v)",
-				seed, envSeen, waveSeen, loadSeen)
+		if !envSeen || !waveSeen || !loadSeen || !pipeSeen {
+			t.Fatalf("seed %d: goodput series missing an axis (envelope %v, waveform %v, load %v, pipelined %v)",
+				seed, envSeen, waveSeen, loadSeen, pipeSeen)
 		}
 	}
 }

@@ -45,9 +45,21 @@ func (c *Contender) Transmission(from int, startS, durS float64, seq int) sim.Tr
 // ok is false when no grant happens within maxWaitS of readyS
 // (maxWaitS <= 0 waits without bound); the returned time then is the
 // instant the search gave up.
+//
+// durS doubles as the backoff quantum — the unit the paper's backoff
+// draws and busy-extensions count in. Callers that know the adapted
+// band's true airtime can pass it to tighten the backoff (the adaptive
+// quanta the public Network exposes as WithAdaptiveBackoff); passing
+// the worst-case airtime reproduces the paper's conservative rule.
+//
+// With cfg.Persist set, the backoff discipline is p-persistent
+// slotted access instead: see acquirePPersistent.
 func (c *Contender) Acquire(busy func(tS float64) bool, readyS, durS, maxWaitS float64) (startS float64, ok bool) {
 	if !c.cfg.CarrierSense {
 		return readyS, true
+	}
+	if c.cfg.Persist > 0 {
+		return c.acquirePPersistent(busy, readyS, maxWaitS)
 	}
 	quantum := durS
 	if quantum <= 0 {
@@ -81,5 +93,32 @@ func (c *Contender) Acquire(busy func(tS float64) bool, readyS, durS, maxWaitS f
 			}
 		}
 		t += SenseIntervalS
+	}
+}
+
+// acquirePPersistent is the p-persistent slotted discipline: sense at
+// the usual cadence until the channel is idle, then at each slot
+// boundary transmit with probability cfg.Persist or defer one slot
+// (cfg.SlotS) and sense again. A channel heard busy again mid-deferral
+// simply re-enters the idle wait — there is no accumulated backoff to
+// extend, which is exactly why a node behind a busy relay chain gets
+// back on the air within a few slots of the channel clearing instead
+// of serving a multi-packet penalty. All draws come from the
+// contender's seeded source, one per idle slot, so the grant time is a
+// deterministic function of the busy history the node observed.
+func (c *Contender) acquirePPersistent(busy func(tS float64) bool, readyS, maxWaitS float64) (startS float64, ok bool) {
+	t := readyS
+	for {
+		if maxWaitS > 0 && t-readyS > maxWaitS {
+			return t, false
+		}
+		if busy(t) {
+			t += SenseIntervalS
+			continue
+		}
+		if c.rng.Float64() <= c.cfg.Persist {
+			return t, true
+		}
+		t += c.cfg.SlotS
 	}
 }

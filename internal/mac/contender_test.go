@@ -96,6 +96,66 @@ func TestContenderAgreesWithRunNetworkRules(t *testing.T) {
 	}
 }
 
+// TestContenderPPersistentGrantsNearIdle pins the point of the
+// p-persistent variant: after a busy interval ends, the grant lands
+// within a handful of slots — there is no multi-packet backoff to
+// serve. With persist p the deferral count is geometric, so ten slots
+// bound it at any reasonable p without flakiness (the draws are
+// seeded, so the bound is really a determinism check).
+func TestContenderPPersistentGrantsNearIdle(t *testing.T) {
+	busyUntil := 3.0
+	c := NewContender(Config{CarrierSense: true, Persist: 0.5, Seed: 11})
+	start, ok := c.Acquire(func(tS float64) bool { return tS < busyUntil }, 0, 0.6, 0)
+	if !ok {
+		t.Fatal("no grant on a channel that goes idle")
+	}
+	if start < busyUntil {
+		t.Fatalf("granted %g while channel busy until %g", start, busyUntil)
+	}
+	if start > busyUntil+10*SenseIntervalS {
+		t.Fatalf("p-persistent grant at %g, want within ten slots of idle at %g", start, busyUntil)
+	}
+}
+
+// TestContenderPPersistentDeterministicDraws mirrors the classic
+// determinism check: same seed, same busy history, same grants.
+func TestContenderPPersistentDeterministicDraws(t *testing.T) {
+	busy := func(tS float64) bool { return tS < 1.0 }
+	run := func() []float64 {
+		c := NewContender(Config{CarrierSense: true, Persist: 0.4, Seed: 5})
+		var grants []float64
+		ready := 0.0
+		for i := 0; i < 4; i++ {
+			s, ok := c.Acquire(busy, ready, 0.6, 0)
+			if !ok {
+				t.Fatal("unexpected deadline")
+			}
+			grants = append(grants, s)
+			ready = s + 0.6
+		}
+		return grants
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grant %d diverged: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestContenderPPersistentDeadlineGivesUp: the deadline contract is
+// shared with the classic discipline.
+func TestContenderPPersistentDeadlineGivesUp(t *testing.T) {
+	c := NewContender(Config{CarrierSense: true, Persist: 0.8, Seed: 7})
+	until, ok := c.Acquire(func(float64) bool { return true }, 1.0, 0.6, 0.5)
+	if ok {
+		t.Fatal("granted access on a permanently busy channel")
+	}
+	if until <= 1.5 {
+		t.Fatalf("gave up at %g, want strictly past ready+deadline (1.5)", until)
+	}
+}
+
 // TestContenderGiveUpReportsBusyUntil pins the failure contract the
 // public ChannelBusyError rides on: when Acquire gives up, the
 // returned time is the first poll instant past readyS + maxWaitS —

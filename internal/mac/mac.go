@@ -45,6 +45,21 @@ type Config struct {
 	// feedback window, eliminating the residual collisions of
 	// energy-only sensing.
 	PreambleAware bool
+	// Persist, when in (0, 1], switches Contender.Acquire from the
+	// paper's multi-packet random backoff to p-persistent slotted
+	// access (the classic packet-radio CSMA variant): the contender
+	// waits for the channel to fall idle, then transmits with
+	// probability Persist at each slot boundary, deferring one slot
+	// otherwise. Where the paper's backoff grows by a whole packet
+	// duration on every busy poll — pathological when a relay chain
+	// keeps the channel warm — p-persistence re-contends within a few
+	// slots of the channel clearing. Zero keeps the paper's rule.
+	// Only the incremental Contender honors it; the batch engine
+	// (RunNetwork) always runs the paper's MAC.
+	Persist float64
+	// SlotS is the p-persistent slot duration (default one sense
+	// interval). Ignored when Persist is zero.
+	SlotS float64
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -66,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QuietDurS < 0 {
 		c.QuietDurS = 0 // explicit solid-packet mode
+	}
+	if c.SlotS <= 0 {
+		c.SlotS = SenseIntervalS
 	}
 	return c
 }

@@ -79,6 +79,12 @@ type StageEvent struct {
 	PathHops int
 	BulkPkt  int
 	BulkPkts int
+
+	// TxID tags every event of a queued (async) send's exchanges with
+	// the transmit handle's ID, stamped by the network's transmit
+	// daemon the same way the relay layer stamps the hop context. Zero
+	// for blocking sends, which have no handle.
+	TxID uint64
 }
 
 // SetStageHook installs (or, with nil, removes) the per-stage

@@ -122,6 +122,10 @@ type networkConfig struct {
 	routing         RoutingPolicy
 	exchangeProbe   func(ExchangeEvent)
 	sirProbe        func(SIRSample)
+	txQueueCap      int
+	deliveryBuffer  int
+	persist         float64
+	adaptiveBackoff bool
 }
 
 // WithNetworkSeed fixes the random realization of every channel and
@@ -195,6 +199,55 @@ func WithExchangeProbe(fn func(ExchangeEvent)) NetworkOption {
 // WithExchangeProbe apply.
 func WithSIRProbe(fn func(SIRSample)) NetworkOption {
 	return func(c *networkConfig) { c.sirProbe = fn }
+}
+
+// DefaultTxQueueCap is the per-node transmit queue capacity when
+// WithTxQueueCapacity is not given.
+const DefaultTxQueueCap = 64
+
+// WithTxQueueCapacity bounds every node's async transmit queue
+// (SendAsync/Enqueue) to cap jobs across all priorities (default
+// DefaultTxQueueCap). A full queue rejects new jobs with ErrQueueFull
+// — enqueueing never blocks, so the caller owns the backpressure
+// policy. cap must be at least 1 (NewNetwork errors otherwise).
+func WithTxQueueCapacity(cap int) NetworkOption {
+	return func(c *networkConfig) { c.txQueueCap = cap }
+}
+
+// WithDeliveryBuffer sizes the Deliveries channel (default
+// DefaultTxQueueCap). Completions beyond the buffer stall the
+// network's delivery pump — never the transmit daemons — until the
+// consumer catches up. n must be at least 1 (NewNetwork errors
+// otherwise).
+func WithDeliveryBuffer(n int) NetworkOption {
+	return func(c *networkConfig) { c.deliveryBuffer = n }
+}
+
+// WithPPersistence switches every node's MAC from the paper's
+// multi-packet random backoff to p-persistent slotted access: a node
+// waits for the channel to fall idle, then transmits with probability
+// p at each slot boundary (one sense interval), deferring one slot
+// otherwise. The paper's backoff grows by a whole packet duration on
+// every busy poll — a heavy tax behind a busy relay chain, where
+// p-persistence re-contends within a few slots of the channel
+// clearing. p must be in (0, 1] (NewNetwork errors otherwise).
+// Changing the MAC discipline changes every grant time, so results
+// are not comparable point-for-point with the default MAC (they
+// remain deterministic and worker-count invariant).
+func WithPPersistence(p float64) NetworkOption {
+	return func(c *networkConfig) { c.persist = p }
+}
+
+// WithAdaptiveBackoff scales each node's MAC backoff quantum to its
+// last committed attempt's actual on-air duration — the adapted
+// band's airtime — instead of the worst-case full-band airtime. A
+// node on a good channel then serves proportionally shorter backoffs
+// (the carried ROADMAP item). The first attempt, with no adaptation
+// history, still uses the conservative full-band quantum. Like
+// WithPPersistence this changes grant times (deterministically) and
+// so is off by default to keep existing results byte-identical.
+func WithAdaptiveBackoff() NetworkOption {
+	return func(c *networkConfig) { c.adaptiveBackoff = true }
 }
 
 // WithNetworkWorkers bounds how many exchanges may execute
@@ -289,6 +342,12 @@ type Network struct {
 	// admissions (results are prune-schedule independent).
 	sincePrune int
 
+	// tx is the async transmit subsystem's shared state (txq.go):
+	// per-node priority queues, the deterministic dispatch gate, the
+	// transmit daemons and the delivery pump. It has its own lock;
+	// the lock order is tx.mu before mu, never the reverse.
+	tx txState
+
 	// traceMu serializes the shared network-wide trace across
 	// concurrently executing exchanges (see Trace).
 	traceMu sync.Mutex
@@ -301,6 +360,8 @@ func NewNetwork(env Environment, opts ...NetworkOption) (*Network, error) {
 		carrierSense:    true,
 		accessDeadlineS: 300,
 		retries:         2,
+		txQueueCap:      DefaultTxQueueCap,
+		deliveryBuffer:  DefaultTxQueueCap,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -310,6 +371,15 @@ func NewNetwork(env Environment, opts ...NetworkOption) (*Network, error) {
 	}
 	if cfg.routing != MinHop && cfg.routing != MinETX {
 		return nil, fmt.Errorf("aquago: unknown routing policy %d", int(cfg.routing))
+	}
+	if cfg.txQueueCap < 1 {
+		return nil, fmt.Errorf("aquago: transmit queue capacity %d must be at least 1", cfg.txQueueCap)
+	}
+	if cfg.deliveryBuffer < 1 {
+		return nil, fmt.Errorf("aquago: delivery buffer %d must be at least 1", cfg.deliveryBuffer)
+	}
+	if cfg.persist < 0 || cfg.persist > 1 || math.IsNaN(cfg.persist) {
+		return nil, fmt.Errorf("aquago: p-persistence %v outside (0, 1]", cfg.persist)
 	}
 	med := sim.New(env)
 	med.CSRangeM = cfg.csRangeM
@@ -455,8 +525,10 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 	nd.cont = mac.NewContender(mac.Config{
 		CarrierSense:  n.cfg.carrierSense,
 		PreambleAware: n.cfg.preambleAware,
+		Persist:       n.cfg.persist,
 		Seed:          n.cfg.seed*31 + int64(idx)*1009 + 7,
 	})
+	nd.txq = newNodeTxq()
 	// The MAC quantum uses the full-band exchange airtime: the actual
 	// on-air duration depends on the band Bob picks mid-exchange,
 	// which the transmitter cannot know when it reserves the channel

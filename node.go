@@ -89,17 +89,32 @@ type Node struct {
 	// only read by onStage, which runs inside the exchange.
 	relay relayCtx
 
+	// txq is the node's async transmit queue state (txq.go), created
+	// at Join; the queue's own lock (net.tx.mu) guards it.
+	txq *nodeTxq
+
 	// Guarded by net.mu.
 	clockS   float64
 	airtimeS float64
 	seq      int
+	// adaptAirtimeS is the last committed attempt's actual on-air
+	// duration — the adapted band's airtime. Under WithAdaptiveBackoff
+	// it replaces the worst-case airtimeS as the MAC backoff quantum
+	// (zero until the node's first commit).
+	adaptAirtimeS float64
+	// departed marks a node that called Leave: its queued work drained
+	// with ErrNodeLeft, and new sends from or to it are refused.
+	departed bool
 }
 
 // relayCtx locates one hop exchange inside a multi-hop (and possibly
-// bulk) transfer; see the StageEvent relay fields.
+// bulk) transfer; see the StageEvent relay fields. txID additionally
+// tags the exchange's events with the async handle that scheduled it
+// (zero for blocking sends).
 type relayCtx struct {
 	hop, pathHops     int
 	bulkPkt, bulkPkts int
+	txID              uint64
 }
 
 // newNodeMessenger wires a messenger with the network's retry budget.
@@ -154,6 +169,7 @@ func (nd *Node) onStage(ev phy.StageEvent) {
 	ev.PathHops = nd.relay.pathHops
 	ev.BulkPkt = nd.relay.bulkPkt
 	ev.BulkPkts = nd.relay.bulkPkts
+	ev.TxID = nd.relay.txID
 	switch {
 	case nd.trace != nil:
 		nd.trace.OnStage(ev)
@@ -197,6 +213,9 @@ func (n *Network) peerLocked(nd *Node, dst DeviceID) (*Node, error) {
 	if peer == nd {
 		return nil, fmt.Errorf("%w: node %d cannot pair with itself", ErrBadDeviceID, dst)
 	}
+	if peer.departed {
+		return nil, fmt.Errorf("%w: destination %d", ErrNodeLeft, dst)
+	}
 	return peer, nil
 }
 
@@ -224,16 +243,19 @@ func (nd *Node) Send(ctx context.Context, dst DeviceID, msgs ...uint8) (SendResu
 	if len(msgs) == 2 {
 		second = msgs[1]
 	}
-	res, _, err := nd.sendWith(ctx, dst, relayCtx{}, nil, first, second)
+	res, _, err := nd.sendWith(ctx, dst, relayCtx{}, 0, nil, first, second)
 	return res, err
 }
 
-// sendWith is the full send machinery behind Send and the relay
-// layer: rc stamps stage events with the hop context, raw (when
-// non-nil) substitutes an arbitrary 16-bit payload for the codebook
-// pair, and endS reports when the final on-air attempt left the air
-// (the instant a store-and-forward relay can possess the payload).
-func (nd *Node) sendWith(ctx context.Context, dst DeviceID, rc relayCtx, raw *[2]byte, first, second uint8) (_ SendResult, endS float64, _ error) {
+// sendWith is the full send machinery behind Send, the relay layer
+// and the transmit daemon: rc stamps stage events with the hop/async
+// context, notBeforeS floors the first attempt's ready time without
+// advancing the node's clock (a queued job's arrival or a relayed
+// packet's possession instant), raw (when non-nil) substitutes an
+// arbitrary 16-bit payload for the codebook pair, and endS reports
+// when the final on-air attempt left the air (the instant a
+// store-and-forward relay can possess the payload).
+func (nd *Node) sendWith(ctx context.Context, dst DeviceID, rc relayCtx, notBeforeS float64, raw *[2]byte, first, second uint8) (_ SendResult, endS float64, _ error) {
 	// One radio per device: a node's own Sends are serial; the
 	// conflict-graph scheduler (sched.go) orders it against the rest
 	// of the network.
@@ -244,6 +266,10 @@ func (nd *Node) sendWith(ctx context.Context, dst DeviceID, rc relayCtx, raw *[2
 
 	n := nd.net
 	n.mu.Lock()
+	if nd.departed {
+		n.mu.Unlock()
+		return SendResult{}, 0, fmt.Errorf("%w: source %d", ErrNodeLeft, nd.id)
+	}
 	peer, err := n.peerLocked(nd, dst)
 	if err != nil {
 		n.mu.Unlock()
@@ -262,6 +288,9 @@ func (nd *Node) sendWith(ctx context.Context, dst DeviceID, rc relayCtx, raw *[2
 	}
 	peerTone := peer.tone
 	clock := nd.clockS
+	if notBeforeS > clock {
+		clock = notBeforeS
+	}
 	n.mu.Unlock()
 
 	// The gate runs once per attempt: wait out conflicting earlier

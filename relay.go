@@ -147,7 +147,7 @@ func (n *Network) SendVia(ctx context.Context, path []DeviceID, msgs ...uint8) (
 	hops := len(path) - 1
 	for h := 0; h < hops; h++ {
 		rc := relayCtx{hop: h, pathHops: hops}
-		res, endS, err := nodes[h].sendWith(ctx, path[h+1], rc, nil, first, second)
+		res, endS, err := nodes[h].sendWith(ctx, path[h+1], rc, 0, nil, first, second)
 		out.Hops = append(out.Hops, res)
 		out.Attempts += res.Attempts
 		if ferr := hopFailed(res, err); ferr != nil {
@@ -200,7 +200,7 @@ func (n *Network) SendBulkVia(ctx context.Context, path []DeviceID, payload []by
 		}
 		for h := 0; h < hops; h++ {
 			rc := relayCtx{hop: h, pathHops: hops, bulkPkt: p, bulkPkts: out.Packets}
-			res, endS, err := nodes[h].sendWith(ctx, path[h+1], rc, &chunk, 0, 0)
+			res, endS, err := nodes[h].sendWith(ctx, path[h+1], rc, 0, &chunk, 0, 0)
 			out.Attempts += res.Attempts
 			if ferr := hopFailed(res, err); ferr != nil {
 				return out, &RelayError{Hop: h, From: path[h], To: path[h+1], Path: out.Path, Pkt: p, Err: ferr}
@@ -240,4 +240,264 @@ func (nd *Node) SendBulk(ctx context.Context, dst DeviceID, payload []byte) (Bul
 		return BulkResult{}, err
 	}
 	return nd.net.SendBulkVia(ctx, path, payload)
+}
+
+// bulkPipeline coordinates one pipelined bulk transfer: every hop of
+// every packet is a queued job, and each completion's continuation
+// (txJob.after, under the queue lock) forwards the packet to the next
+// hop and admits the next packet at the source. Packets therefore
+// overlap wherever hops do not interfere, while the dispatch gate
+// keeps interfering hops in deterministic (priority, seq) order.
+type bulkPipeline struct {
+	n       *Network
+	ctx     context.Context
+	nodes   []*Node
+	path    []DeviceID
+	payload []byte
+	hops    int
+
+	out BulkResult
+	// nextPkt is the next packet index to admit at hop 0; admission is
+	// windowed (each hop-0 completion admits one more) so the source
+	// queue holds at most the window regardless of payload size.
+	nextPkt int
+	// outstanding counts packets not yet terminal (delivered, failed,
+	// or abandoned); done closes when it reaches zero.
+	outstanding int
+	done        chan struct{}
+	finished    bool
+	// active maps packet index -> its current hop's handle.
+	active map[int]*TxHandle
+
+	failed            bool
+	cancelling        bool
+	failPkt, failHop  int
+	failErr           error
+}
+
+// pipelineWindow is how many packets the source keeps admitted ahead:
+// two keeps the source daemon busy across a completion boundary while
+// bounding every queue on the path to O(window) jobs.
+const pipelineWindow = 2
+
+// SendBulkViaPipelined transfers an arbitrary payload along an
+// explicit relay path through the async transmit subsystem: each
+// relay store-and-forwards from its own transmit queue, so packet p+1
+// crosses earlier hops while packet p crosses later ones, and
+// non-interfering hops genuinely overlap on the air (on a long line,
+// hops three apart clear each other's carrier-sense range). The
+// per-hop semantics — possession criterion, byte conservation, band
+// re-adaptation per packet and hop, turnaround before forwarding —
+// match SendBulkVia exactly, and on paths where every hop interferes
+// the result converges to the sequential transfer's.
+//
+// The transfer runs at TxBulk priority, so concurrent conversational
+// sends overtake it at every hop. A hop failure stops admission,
+// withdraws the failed packet's successors, lets already-ahead
+// packets finish, and returns a *RelayError naming the first failed
+// packet and hop; Received then holds the contiguous delivered
+// prefix. Cancelling ctx aborts the transfer the same way.
+func (n *Network) SendBulkViaPipelined(ctx context.Context, path []DeviceID, payload []byte) (BulkResult, error) {
+	nodes, err := n.resolvePath(path)
+	if err != nil {
+		return BulkResult{}, err
+	}
+	if len(payload) == 0 {
+		return BulkResult{}, fmt.Errorf("%w: empty bulk payload", ErrBadMessage)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr := &bulkPipeline{
+		n: n, ctx: ctx, nodes: nodes,
+		path: append([]DeviceID(nil), path...), payload: payload,
+		hops: len(path) - 1,
+		done: make(chan struct{}),
+		active: make(map[int]*TxHandle),
+	}
+	tr.out = BulkResult{
+		Path:    tr.path,
+		Packets: (len(payload) + 1) / 2,
+		StartS:  nodes[0].ClockS(),
+	}
+	tr.outstanding = tr.out.Packets
+	window := pipelineWindow
+	if window > n.cfg.txQueueCap {
+		window = n.cfg.txQueueCap
+	}
+	n.tx.mu.Lock()
+	for i := 0; i < window && !tr.failed; i++ {
+		tr.admitLocked()
+	}
+	n.txEvaluateLocked()
+	tr.finishIfDoneLocked()
+	n.tx.mu.Unlock()
+	// Every admitted job carries ctx, and failures stop admission, so
+	// the pipeline always drains: no select on ctx needed here.
+	<-tr.done
+	if tr.failed {
+		return tr.out, &RelayError{
+			Hop: tr.failHop, From: tr.path[tr.failHop], To: tr.path[tr.failHop+1],
+			Path: tr.out.Path, Pkt: tr.failPkt, Err: tr.failErr,
+		}
+	}
+	return tr.out, nil
+}
+
+// SendBulkPipelined is SendBulk through the pipelined transfer: route
+// to dst, then SendBulkViaPipelined along the path.
+func (nd *Node) SendBulkPipelined(ctx context.Context, dst DeviceID, payload []byte) (BulkResult, error) {
+	path, err := nd.net.Route(nd.id, dst)
+	if err != nil {
+		return BulkResult{}, err
+	}
+	return nd.net.SendBulkViaPipelined(ctx, path, payload)
+}
+
+// chunk extracts packet p's 2-byte payload chunk and whether its
+// second byte is padding.
+func (tr *bulkPipeline) chunk(p int) (chunk [2]byte, padded bool) {
+	chunk[0] = tr.payload[2*p]
+	padded = 2*p+2 > len(tr.payload)
+	if !padded {
+		chunk[1] = tr.payload[2*p+1]
+	}
+	return chunk, padded
+}
+
+// admitLocked enqueues the next packet's hop-0 job (tx.mu held).
+func (tr *bulkPipeline) admitLocked() {
+	if tr.nextPkt >= tr.out.Packets || tr.failed {
+		return
+	}
+	p := tr.nextPkt
+	tr.nextPkt++
+	tr.enqueueHopLocked(0, p, 0)
+}
+
+// enqueueHopLocked queues packet p's hop job with the given ready
+// floor; an enqueue rejection (queue full, node left) is a hop
+// failure (tx.mu held).
+func (tr *bulkPipeline) enqueueHopLocked(hop, p int, notBeforeS float64) {
+	chunk, padded := tr.chunk(p)
+	raw := chunk
+	rc := relayCtx{hop: hop, pathHops: tr.hops, bulkPkt: p, bulkPkts: tr.out.Packets}
+	h, err := tr.n.txEnqueueLocked(
+		tr.nodes[hop], tr.nodes[hop+1], TxBulk, notBeforeS, &raw, 0, 0,
+		rc, tr.ctx, nil, tr.hopDone(hop, p, chunk, padded))
+	if err != nil {
+		tr.outstanding--
+		tr.recordFailureLocked(p, hop, err)
+		tr.finishIfDoneLocked()
+		return
+	}
+	tr.active[p] = h
+}
+
+// hopDone builds the continuation for packet p's hop job. It runs
+// under tx.mu inside completion processing, atomically before any
+// newly unblocked job dispatches.
+func (tr *bulkPipeline) hopDone(hop, p int, chunk [2]byte, padded bool) func(TxDelivery) {
+	return func(d TxDelivery) {
+		tr.out.Attempts += d.Result.Attempts
+		delete(tr.active, p)
+		ferr := hopFailed(d.Result, d.Err)
+		if ferr == nil && hop == 0 {
+			// The source finished packet p's first hop: admit the next
+			// packet to keep the window full. Deferred so the forward in
+			// the switch below enqueues FIRST and takes the older
+			// dispatch key — otherwise the source's ever-younger hop-0
+			// jobs would starve every relay behind them and the pipeline
+			// would degenerate into "blast hop 0, then drain".
+			defer tr.admitLocked()
+		}
+		switch {
+		case ferr != nil:
+			tr.outstanding--
+			tr.recordFailureLocked(p, hop, ferr)
+		case tr.failed && p > tr.failPkt:
+			// The transfer already died at an earlier packet while this
+			// one was on the air; abandon it.
+			tr.outstanding--
+		case hop+1 < tr.hops:
+			// Forward: the next relay possesses the packet once the last
+			// attempt's final sample arrived, and may contend after a
+			// turnaround.
+			tr.enqueueHopLocked(hop+1, p, d.EndS+relayTurnaroundS)
+		default:
+			// Delivered end-to-end. Final-hop jobs complete in packet
+			// order (FIFO at the last relay), so Received accumulates in
+			// payload order.
+			tr.outstanding--
+			tr.out.DeliveredPackets++
+			tr.out.Received = append(tr.out.Received, chunk[0])
+			tr.out.DeliveredBytes++
+			if !padded {
+				tr.out.Received = append(tr.out.Received, chunk[1])
+				tr.out.DeliveredBytes++
+			}
+			tr.out.Bands = append(tr.out.Bands, d.Result.Last.Band)
+			if d.EndS > tr.out.EndS {
+				tr.out.EndS = d.EndS
+			}
+		}
+		tr.finishIfDoneLocked()
+	}
+}
+
+// recordFailureLocked notes a hop failure, keeping the lowest failed
+// packet as the transfer's reported failure, stopping admission, and
+// withdrawing queued successors (tx.mu held).
+func (tr *bulkPipeline) recordFailureLocked(p, hop int, err error) {
+	switch {
+	case !tr.failed:
+		tr.failed = true
+		tr.failPkt, tr.failHop, tr.failErr = p, hop, err
+		// Unadmitted packets never run; account them terminal now.
+		tr.outstanding -= tr.out.Packets - tr.nextPkt
+		tr.nextPkt = tr.out.Packets
+		tr.cancelTrailingLocked()
+	case p < tr.failPkt:
+		tr.failPkt, tr.failHop, tr.failErr = p, hop, err
+		tr.cancelTrailingLocked()
+	}
+}
+
+// cancelTrailingLocked withdraws every still-queued job of packets
+// after the failed one; inflight jobs get their context cancelled and
+// resolve through their own completions. Cancelling a queued job runs
+// its continuation synchronously (which re-enters the failure path),
+// so the scan restarts until a pass makes no change.
+func (tr *bulkPipeline) cancelTrailingLocked() {
+	if tr.cancelling {
+		return
+	}
+	tr.cancelling = true
+	for changed := true; changed; {
+		changed = false
+		for p, h := range tr.active {
+			if p <= tr.failPkt {
+				continue
+			}
+			if h.job.state == txQueued {
+				tr.n.txCancelQueuedLocked(h.job, fmt.Errorf("%w: bulk transfer failed at packet %d", ErrTxCancelled, tr.failPkt))
+				changed = true
+				break
+			}
+			if h.job.state == txInflight && !h.job.cancelled {
+				h.job.cancelled = true
+				h.job.cancel()
+			}
+		}
+	}
+	tr.cancelling = false
+}
+
+// finishIfDoneLocked closes the transfer once every packet is
+// terminal (tx.mu held).
+func (tr *bulkPipeline) finishIfDoneLocked() {
+	if tr.outstanding == 0 && !tr.finished {
+		tr.finished = true
+		close(tr.done)
+	}
 }

@@ -307,9 +307,17 @@ func (n *Network) beginAttempt(ctx context.Context, nd *Node, peer int, readyS f
 		readyS = f
 	}
 	n.maybePruneLocked()
+	// The backoff quantum: the worst-case full-band airtime by
+	// default, the last committed attempt's actual (adapted-band)
+	// airtime under WithAdaptiveBackoff — a node that just ran on a
+	// wide band serves proportionally shorter backoffs.
+	quantum := nd.airtimeS
+	if n.cfg.adaptiveBackoff && nd.adaptAirtimeS > 0 {
+		quantum = nd.adaptAirtimeS
+	}
 	start, granted := nd.cont.Acquire(func(tS float64) bool {
 		return n.med.BusyAt(nd.idx, tS)
-	}, readyS, nd.airtimeS, n.cfg.accessDeadlineS)
+	}, readyS, quantum, n.cfg.accessDeadlineS)
 	if !granted {
 		n.resolveLocked(tk)
 		n.mu.Unlock()
@@ -347,6 +355,7 @@ func (n *Network) commitAttempt(nd *Node, tk *ticket, startS, durS float64) {
 	n.mu.Lock()
 	n.med.Transmit(nd.cont.Transmission(nd.idx, startS, durS, nd.seq))
 	nd.seq++
+	nd.adaptAirtimeS = durS
 	n.stats.Committed++
 	n.stats.AirtimeS += durS
 	rxID := n.order[tk.rx].id
