@@ -1,0 +1,204 @@
+// Command aqualint is the multichecker driver for aquago's static
+// determinism and concurrency analyzers (internal/analysis): mapiter,
+// wallclock, lockorder and chansend.
+//
+// Standalone, it loads packages itself (offline, via `go list
+// -export` and the compiler's export data — the module deliberately
+// has no golang.org/x/tools dependency):
+//
+//	go run ./cmd/aqualint ./...
+//	go run ./cmd/aqualint -list          # describe the analyzers
+//
+// It also speaks the go vet vettool protocol (-V=full, -flags, and
+// *.cfg invocations), so the suite runs inside ordinary vet
+// workflows, picking up test-variant packages too:
+//
+//	go build -o /tmp/aqualint ./cmd/aqualint
+//	go vet -vettool=/tmp/aqualint ./...
+//
+// Exit status: 0 clean, 1 findings (standalone), 2 findings (vettool,
+// matching cmd/vet), 3 operational error.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aquago/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("aqualint", flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (go vet handshake; use -V=full)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON (go vet handshake)")
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: aqualint [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All {
+			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	switch {
+	case *version != "":
+		// go vet runs `aqualint -V=full` and caches on the reported
+		// fingerprint; hash the executable like x/tools' unitchecker.
+		return printVersion()
+	case *printFlags:
+		// go vet runs `aqualint -flags` to learn the analyzer flags it
+		// may forward. The suite is not individually toggleable: every
+		// invariant holds or the build is wrong.
+		fmt.Println("[]")
+		return 0
+	case *list:
+		for _, a := range analysis.All {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetUnit(rest[0])
+	}
+	return runStandalone(rest)
+}
+
+// runStandalone loads the named patterns (default ./...) and reports
+// findings in file:line:col form.
+func runStandalone(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqualint:", err)
+		return 3
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqualint:", err)
+		return 3
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "aqualint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go hands a vettool per package (the
+// fields this driver consumes; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package unit under the go vet protocol.
+func runVetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqualint:", err)
+		return 3
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "aqualint: parsing %s: %v\n", cfgFile, err)
+		return 3
+	}
+	// The vet driver requires the facts file to exist even though the
+	// suite exports none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("aqualint-no-facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "aqualint:", err)
+			return 3
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := analysis.ExportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		goFiles = append(goFiles, f)
+	}
+	// Import paths of test variants arrive as "pkg [pkg.test]";
+	// analyzers scope on the plain path.
+	path, _, _ := strings.Cut(cfg.ImportPath, " ")
+	pkg, err := analysis.CheckFiles(path, fset, goFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "aqualint:", err)
+		return 3
+	}
+	diags, err := analysis.RunPackage(pkg, analysis.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqualint:", err)
+		return 3
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion emits the go vet tool-identity handshake line.
+func printVersion() int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqualint:", err)
+		return 3
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aqualint:", err)
+		return 3
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "aqualint:", err)
+		return 3
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(exe), h.Sum(nil))
+	return 0
+}

@@ -1,0 +1,227 @@
+// Package analysis_test checks each aqualint analyzer against a
+// fixture package under testdata/src/<analyzer>/, in the style of
+// golang.org/x/tools' analysistest: a fixture line carrying
+//
+//	// want "substring"
+//
+// must draw a diagnostic on that line whose message contains the
+// substring, and every diagnostic must be claimed by such a comment.
+// The block-comment form /* want "..." */ exists for annotation lines,
+// where everything after //aqualint:<directive> is the justification
+// and a trailing line comment would become part of it.
+//
+// Fixtures are type-checked under a caller-chosen import path, which
+// is how the path-scoped rules (mapiter's deterministic core, the
+// wallclock cmd/ allowlist) get both their positive and negative
+// cases from one fixture.
+package analysis_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aquago/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`(?://|/\*) want ("(?:[^"\\]|\\.)*")`)
+
+// expectation is one parsed want comment.
+type expectation struct {
+	file   string
+	line   int
+	substr string
+	hit    bool
+}
+
+func fixtureFiles(t *testing.T, name string) []string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("no fixture files under %s", dir)
+	}
+	return files
+}
+
+// loadFixture type-checks the named fixture as if it were the package
+// at pkgPath, resolving its (stdlib) imports through compiler export
+// data exactly like the real aqualint loader does.
+func loadFixture(t *testing.T, name, pkgPath string) *analysis.Package {
+	t.Helper()
+	files := fixtureFiles(t, name)
+	exports, err := analysis.ExportsFor(".", fixtureImports(t, files))
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp := analysis.ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	pkg, err := analysis.CheckFiles(pkgPath, fset, files, imp)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+	return pkg
+}
+
+func fixtureImports(t *testing.T, files []string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	seen := map[string]bool{}
+	var imports []string
+	for _, fn := range files {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", fn, err)
+		}
+		for _, im := range f.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err != nil {
+				t.Fatalf("import path %s: %v", im.Path.Value, err)
+			}
+			if !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	sort.Strings(imports)
+	return imports
+}
+
+func parseExpectations(t *testing.T, files []string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, fn := range files {
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatalf("reading %s: %v", fn, err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				substr, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want %s: %v", fn, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: fn, line: i + 1, substr: substr})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over its fixture and compares the
+// diagnostics against the fixture's want comments in both directions.
+func checkFixture(t *testing.T, az *analysis.Analyzer, name, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, name, pkgPath)
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{az})
+	if err != nil {
+		t.Fatalf("running %s: %v", az.Name, err)
+	}
+	wants := parseExpectations(t, fixtureFiles(t, name))
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.substr)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+	}
+}
+
+// claim marks the first unclaimed expectation matching d.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+func mustBeClean(t *testing.T, az *analysis.Analyzer, name, pkgPath string) {
+	t.Helper()
+	pkg := loadFixture(t, name, pkgPath)
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{az})
+	if err != nil {
+		t.Fatalf("running %s: %v", az.Name, err)
+	}
+	for _, d := range diags {
+		t.Errorf("diagnostic outside %s scope as %s: %s", az.Name, pkgPath, d)
+	}
+}
+
+func TestMapiterFixture(t *testing.T) {
+	checkFixture(t, analysis.Mapiter, "mapiter", "aquago/internal/sim")
+}
+
+// TestMapiterScope re-checks the same fixture under an import path
+// outside the deterministic core: every finding must vanish.
+func TestMapiterScope(t *testing.T) {
+	mustBeClean(t, analysis.Mapiter, "mapiter", "aquago/internal/channel")
+}
+
+func TestWallclockFixture(t *testing.T) {
+	checkFixture(t, analysis.Wallclock, "wallclock", "aquago/internal/exp")
+}
+
+// TestWallclockCmdAllowlist re-checks the wallclock fixture under a
+// cmd/ import path, where real elapsed-time measurement is allowed.
+func TestWallclockCmdAllowlist(t *testing.T) {
+	mustBeClean(t, analysis.Wallclock, "wallclock", "aquago/cmd/aqualint")
+}
+
+func TestLockorderFixture(t *testing.T) {
+	checkFixture(t, analysis.Lockorder, "lockorder", "aquago")
+}
+
+func TestChansendFixture(t *testing.T) {
+	checkFixture(t, analysis.Chansend, "chansend", "aquago")
+}
+
+// TestRepoIsClean runs the full suite over the module itself: the
+// shipped tree must stay aqualint-clean, so a change that introduces a
+// violation fails `go test` even before CI's dedicated lint job runs.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

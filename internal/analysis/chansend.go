@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Chansend flags channel sends performed while holding a lock.
+//
+// A send can park its goroutine until a receiver arrives; parked
+// while holding a network lock, it stalls every path that needs the
+// lock — including the consumer it is waiting for, if draining the
+// channel ever takes the same lock (the Deliveries channel's
+// documented failure mode, which is why the delivery pump sends only
+// after releasing tx.mu). The rule covers explicit Lock()/Unlock()
+// windows and the implicit caller-held lock of *Locked functions.
+//
+// Two escapes:
+//
+//   - a send that provably cannot block — a clause of a select with a
+//     default — passes;
+//   - a send whose channel has guaranteed headroom by construction
+//     (the per-node daemon handoff slot, capacity 1 with at most one
+//     dispatchable job) carries //aqualint:chansend-ok <why>.
+var Chansend = &Analyzer{
+	Name: "chansend",
+	Doc: "flags channel sends while a mutex is held (select-with-default is " +
+		"exempt; justified sends carry //aqualint:chansend-ok <why>)",
+	Run: runChansend,
+}
+
+func runChansend(pass *Pass) error {
+	scanFunctions(pass, lockHooks{
+		send: func(s *ast.SendStmt, held []heldLock, nonblocking bool) {
+			if len(held) == 0 || nonblocking {
+				return
+			}
+			if pass.Annotated(s.Pos(), "chansend-ok") {
+				return
+			}
+			pass.Reportf(s.Pos(),
+				"channel send while holding %s can park the goroutine with the lock held, "+
+					"stalling every contender (and deadlocking if the receiver needs the lock); "+
+					"send after unlocking, use a select with default, or annotate "+
+					"//aqualint:chansend-ok <why>",
+				heldLabel(held))
+		},
+	})
+	return nil
+}

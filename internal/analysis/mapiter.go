@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Mapiter flags `for ... range` over a map in the deterministic core.
+//
+// The simulator's contract — worker-count-invariant, seed-reproducible
+// results on the shared virtual timeline — dies quietly wherever an
+// iteration order leaks into scheduling or output, and Go randomizes
+// map order specifically so such bugs cannot hide behind one lucky
+// layout. Inside the deterministic core (the root package and
+// internal/{exp,sim,mac,phy}) a map loop is therefore guilty until
+// proven innocent. Two proofs are accepted:
+//
+//   - the loop only materializes the map into slices that the same
+//     function then sorts (the collect-then-sort idiom), or the loop
+//     binds no variables at all (`for range m` — pure counting);
+//   - the loop carries //aqualint:order-independent <why> on it or
+//     the line above, putting the justification next to the code.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags map iteration in the deterministic core unless keys are " +
+		"materialized and sorted or the loop is annotated " +
+		"//aqualint:order-independent <why>",
+	Run: runMapiter,
+}
+
+// mapiterScope lists the import paths whose results must be
+// iteration-order independent: the public network simulator and the
+// experiment/physics packages whose outputs are golden-tested.
+var mapiterScope = map[string]bool{
+	"aquago":              true,
+	"aquago/internal/exp": true,
+	"aquago/internal/sim": true,
+	"aquago/internal/mac": true,
+	"aquago/internal/phy": true,
+}
+
+func runMapiter(pass *Pass) error {
+	if !mapiterScope[pass.Path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.typeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := deref(t).Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if rs.Key == nil && rs.Value == nil {
+					// `for range m {}` executes len(m) times with no
+					// binding: order cannot be observed.
+					return true
+				}
+				if pass.Annotated(rs.Pos(), "order-independent") {
+					return true
+				}
+				if collectThenSort(pass, fd, rs) {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"range over %s iterates in randomized order inside the deterministic core; "+
+						"materialize into a slice and sort it, or annotate the loop "+
+						"//aqualint:order-independent <why>",
+					typeLabel(pass, rs.X))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectThenSort recognizes the sanctioned materialization idiom: a
+// loop whose body does nothing but append loop-visible values to
+// slices (possibly behind if-filters), at least one of which the
+// enclosing function later passes to a sort (sort.* or
+// slices.Sort*). Iterating the map then only determines a transient
+// order that the sort erases.
+func collectThenSort(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	var sinks []types.Object
+	if !appendOnly(pass, rs.Body.List, &sinks) || len(sinks) == 0 {
+		return false
+	}
+	for _, sink := range sinks {
+		if sortedInFunc(pass, fd, sink) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendOnly reports whether stmts consist solely of `s = append(s,
+// ...)` assignments, possibly nested under plain if-filters (no
+// else), collecting each append target into sinks.
+func appendOnly(pass *Pass, stmts []ast.Stmt, sinks *[]types.Object) bool {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return false
+			}
+			lhs, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				return false
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return false
+			}
+			obj := pass.Info.Uses[lhs]
+			if obj == nil {
+				obj = pass.Info.Defs[lhs]
+			}
+			if obj == nil {
+				return false
+			}
+			*sinks = append(*sinks, obj)
+		case *ast.IfStmt:
+			if st.Init != nil || st.Else != nil {
+				return false
+			}
+			if !appendOnly(pass, st.Body.List, sinks) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortedInFunc reports whether fd contains a call into package sort
+// or slices with obj among its arguments.
+func sortedInFunc(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		name := sel.Sel.Name
+		sorts := (path == "sort" && (strings.HasPrefix(name, "Sort") || strings.HasPrefix(name, "Slice") ||
+			name == "Stable" || name == "Strings" || name == "Ints" || name == "Float64s")) ||
+			(path == "slices" && strings.HasPrefix(name, "Sort"))
+		if !sorts {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// typeLabel renders the ranged expression for the diagnostic.
+func typeLabel(pass *Pass, e ast.Expr) string {
+	if t := pass.typeOf(e); t != nil {
+		return t.String()
+	}
+	return "map"
+}

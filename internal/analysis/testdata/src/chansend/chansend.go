@@ -1,0 +1,63 @@
+// Fixture for the chansend analyzer: sends while a lock is held can
+// park the goroutine with the lock, stalling every contender.
+package fixture
+
+import "sync"
+
+type queue struct {
+	mu   sync.Mutex
+	jobs chan int
+}
+
+func (q *queue) blockedSend(j int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.jobs <- j // want "channel send while holding queue.mu"
+}
+
+func (q *queue) sendAfterUnlockOK(j int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.jobs <- j
+}
+
+func (q *queue) nonblockingOK(j int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.jobs <- j: // a clause of a select with default cannot park
+	default:
+	}
+}
+
+func (q *queue) selectWithoutDefault(j int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.jobs <- j: // want "channel send while holding queue.mu"
+	}
+}
+
+func (q *queue) annotatedOK(j int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//aqualint:chansend-ok fixture stands in for a capacity-one handoff slot that is provably empty here
+	q.jobs <- j
+}
+
+// drainLocked runs under a caller-held lock by the *Locked convention.
+func (q *queue) drainLocked() {
+	q.jobs <- 0 // want "a caller-held lock"
+}
+
+func (q *queue) goroutineStartsFreshOK(j int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.jobs <- j // the goroutine body starts with no locks held
+	}()
+}
+
+func plainSendOK(ch chan int) {
+	ch <- 1
+}

@@ -1,0 +1,63 @@
+// Fixture for the mapiter analyzer, type-checked as a deterministic
+// core package ("aquago/internal/sim") by the harness.
+package fixture
+
+import "sort"
+
+func flagged(m map[int]string) {
+	for k, v := range m { // want "range over map[int]string iterates in randomized order"
+		_, _ = k, v
+	}
+}
+
+func flaggedKeysOnly(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want "iterates in randomized order"
+		keys = append(keys, k)
+	}
+	return keys // materialized but never sorted: order still leaks
+}
+
+func countingOK(m map[int]string) int {
+	n := 0
+	for range m { // no bindings: order cannot be observed
+		n++
+	}
+	return n
+}
+
+func annotatedOK(m map[int]float64) float64 {
+	s := 0.0
+	//aqualint:order-independent floating-point sum is the only observation and the fixture declares it commutative
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func collectSortOK(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // collect-then-sort: transient order erased below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func collectSortFilteredOK(m map[int]int) []int {
+	var keys []int
+	for k, v := range m { // if-filtered appends still qualify
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func annotatedNoWhy(m map[int]int) {
+	/* want "needs a justification" */ //aqualint:order-independent
+	for k := range m {
+		_ = k
+	}
+}

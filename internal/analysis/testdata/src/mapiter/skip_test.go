@@ -1,0 +1,12 @@
+package fixture
+
+// Test files are exempt from every aqualint check: tests own their
+// determinism through goldens, not through the library invariants.
+
+func testOnlyIteration(m map[int]int) int {
+	s := 0
+	for k := range m { // no want: _test.go files are skipped
+		s += k
+	}
+	return s
+}

@@ -106,6 +106,7 @@ func Fig08BERvsSNR(cfg RunConfig) (Report, error) {
 	}
 	buckets := map[int]*bucket{}
 	for _, local := range maps {
+		//aqualint:order-independent merges worker-local buckets by integer addition per key, which commutes; series rendering sorts the populated keys below
 		for key, lb := range local {
 			b := buckets[key]
 			if b == nil {

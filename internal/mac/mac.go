@@ -162,6 +162,7 @@ func RunNetwork(med *sim.Medium, txNodes []int, cfg Config) Result {
 	}
 	perNode, frac := med.CollisionStats()
 	total := 0
+	//aqualint:order-independent integer addition commutes; only the sum of the per-node sent counts is observed
 	for _, c := range perNode {
 		total += c[1]
 	}

@@ -226,6 +226,7 @@ func (m *Medium) CollisionStats() (perNode map[int][2]int, fraction float64) {
 	m.markCollisions()
 	perNode = make(map[int][2]int)
 	total, hit := m.prunedAll, m.prunedHit
+	//aqualint:order-independent key-for-key copy into the result map; the resulting map is the same whatever order the entries are visited in
 	for n, c := range m.prunedPerNode {
 		perNode[n] = c
 	}

@@ -175,6 +175,7 @@ func (nd *Node) onStage(ev phy.StageEvent) {
 		nd.trace.OnStage(ev)
 	case nd.net.cfg.trace != nil:
 		nd.net.traceMu.Lock()
+		//aqualint:callback-under-lock Trace documents OnStage as quick and never re-entering the session, node or network; traceMu is the leaf of the lock order and only serializes the shared trace across parallel exchanges
 		nd.net.cfg.trace.OnStage(ev)
 		nd.net.traceMu.Unlock()
 	}

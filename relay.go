@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // This file is the store-and-forward relay layer over routing
@@ -475,7 +476,17 @@ func (tr *bulkPipeline) cancelTrailingLocked() {
 	tr.cancelling = true
 	for changed := true; changed; {
 		changed = false
-		for p, h := range tr.active {
+		// Withdrawals resolve handles and land on the delivery queue as
+		// they run, so the scan order is user-visible (Deliveries,
+		// OnDone order): cancel in packet-index order, not the map's
+		// randomized one.
+		pkts := make([]int, 0, len(tr.active))
+		for p := range tr.active {
+			pkts = append(pkts, p)
+		}
+		sort.Ints(pkts)
+		for _, p := range pkts {
+			h := tr.active[p]
 			if p <= tr.failPkt {
 				continue
 			}

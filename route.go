@@ -377,6 +377,7 @@ func (n *Network) noteJoinLocked(newIdx int) {
 		n.routeCache = nil
 		return
 	}
+	//aqualint:order-independent each entry is tested against the joiner's distance vector and deleted or kept independently; the surviving set is the same whatever order the entries are visited in
 	for key, r := range n.routeCache {
 		if dist[key[0]]+dist[key[1]] <= r.cost {
 			delete(n.routeCache, key)

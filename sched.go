@@ -367,6 +367,7 @@ func (n *Network) commitAttempt(nd *Node, tk *ticket, startS, durS float64) {
 		// bookkeeping) but under traceMu: commits of non-interfering
 		// exchanges can race, and probes are promised serial delivery.
 		n.traceMu.Lock()
+		//aqualint:callback-under-lock WithExchangeProbe documents the hook as serialized, quick, and never re-entering the network; traceMu is the leaf of the lock order and n.mu is already released here
 		probe(ExchangeEvent{Tx: nd.id, Rx: rxID, StartS: startS, AirtimeS: durS})
 		n.traceMu.Unlock()
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -402,6 +403,20 @@ func (n *Network) txEnqueueLocked(nd, dst *Node, pri TxPriority, notBeforeS floa
 	return j.h, nil
 }
 
+// txQueuedNodesSortedLocked materializes the queued-node set in
+// ascending device-ID order (tx.mu held). Every dispatch-gate scan
+// iterates this slice, never tx.nodes directly: map order is
+// randomized per run, and the gate's contract is that its behavior is
+// a deterministic function of queue state.
+func (n *Network) txQueuedNodesSortedLocked() []*Node {
+	nodes := make([]*Node, 0, len(n.tx.nodes))
+	for nd := range n.tx.nodes {
+		nodes = append(nodes, nd)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+	return nodes
+}
+
 // txConflict reports whether two jobs' exchanges could interact —
 // the scheduler's own interference predicate over the jobs' node
 // pairs. Callers hold n.mu.
@@ -421,7 +436,12 @@ func txKeyLess(a, b *txJob) bool {
 // with no live conflicting predecessor — inflight, or queued anywhere
 // with a smaller key — is popped and handed to its node's daemon.
 // Heads dispatched in one pass are mutually non-conflicting by the
-// same rule, so the pass order over the node set cannot matter.
+// same rule, so the set dispatched is pass-order independent — but
+// the pass order still decides the sequence dispatched jobs reach
+// their daemons' handoff slots, and a determinism invariant that
+// rests on "cannot matter" is unverifiable. The node set is therefore
+// materialized sorted by device ID, making the scan a function of the
+// network rather than of Go's randomized map layout.
 func (n *Network) txEvaluateLocked() {
 	if n.tx.queued == 0 {
 		return
@@ -429,8 +449,9 @@ func (n *Network) txEvaluateLocked() {
 	// The interference predicate reads node geometry; n.mu guards the
 	// order table (tx.mu before mu is the global lock order).
 	n.mu.Lock()
+	nodes := n.txQueuedNodesSortedLocked()
 	var dispatch []*txJob
-	for nd := range n.tx.nodes {
+	for _, nd := range nodes {
 		j := nd.txq.head()
 		if j == nil {
 			continue
@@ -444,7 +465,7 @@ func (n *Network) txEvaluateLocked() {
 		}
 		if !blocked {
 		scan:
-			for other := range n.tx.nodes {
+			for _, other := range nodes {
 				if other == nd {
 					continue
 				}
@@ -476,6 +497,7 @@ func (n *Network) txEvaluateLocked() {
 			nq.daemonLive = true
 			go n.txDaemon(j.nd)
 		}
+		//aqualint:chansend-ok next has capacity 1 and a node never has two dispatchable jobs (its second conflicts with its first via the shared node), so this send cannot block
 		nq.next <- j
 	}
 }
@@ -541,6 +563,7 @@ func (n *Network) txFinishLocked(j *txJob, res SendResult, endS float64, err err
 		Result: res, EndS: endS, Err: err,
 	}
 	if j.after != nil {
+		//aqualint:callback-under-lock after is internal (never user-supplied): the pipelined relay's continuation, documented on txJob to run under tx.mu so forwards enqueue before any unblocked job dispatches; it calls only *Locked helpers
 		j.after(d)
 	}
 	n.txDeliverLocked(d, j.onDone)

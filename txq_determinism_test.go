@@ -1,0 +1,76 @@
+package aquago_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"aquago"
+)
+
+// TestConflictingDispatchOrderDeterministic pins the dispatch gate's
+// cross-node ordering: a mixed-priority burst from two senders whose
+// exchanges all conflict (they share the receiver) must complete in
+// the same sequence on every run — the first job dispatches the moment
+// it is enqueued (nothing else is live yet), and every later job
+// follows the (priority, enqueue-sequence) dispatch key, whichever
+// node it sits on. Before the gate's node scan was sorted by device
+// ID, the scan order — and with it the order conflicting dispatches
+// reached the scheduler — depended on Go's randomized map layout.
+func TestConflictingDispatchOrderDeterministic(t *testing.T) {
+	okMsg, _ := aquago.LookupMessage("OK?")
+
+	run := func(rep int) []uint64 {
+		net, _, a, b := buildTriangle(t, 29)
+		got, stop := drainDeliveries(net.Deliveries())
+		defer stop()
+
+		steps := []struct {
+			nd  *aquago.Node
+			pri aquago.TxPriority
+		}{
+			{a, aquago.TxBulk},   // seq 1: dispatches immediately
+			{b, aquago.TxBulk},   // seq 2
+			{a, aquago.TxNormal}, // seq 3
+			{b, aquago.TxHigh},   // seq 4
+			{a, aquago.TxHigh},   // seq 5
+			{b, aquago.TxNormal}, // seq 6
+		}
+		for _, s := range steps {
+			if _, err := s.nd.Enqueue(context.Background(), aquago.TxJob{
+				Dst: 0, Msgs: []uint8{okMsg.ID}, Priority: s.pri,
+			}); err != nil {
+				t.Fatalf("run %d: enqueue %v from %d: %v", rep, s.pri, s.nd.ID(), err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := net.Flush(ctx); err != nil {
+			t.Fatalf("run %d: flush: %v", rep, err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for len(got()) < len(steps) && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		ds := got()
+		if len(ds) != len(steps) {
+			t.Fatalf("run %d: %d of %d deliveries arrived", rep, len(ds), len(steps))
+		}
+		ids := make([]uint64, len(ds))
+		for i, d := range ds {
+			ids[i] = d.TxID
+		}
+		return ids
+	}
+
+	// Job 1 is already inflight when the rest enqueue; the remaining
+	// five serialize by (priority, seq): highs 4, 5; normals 3, 6;
+	// bulk 2.
+	want := []uint64{1, 4, 5, 3, 6, 2}
+	for rep := 0; rep < 4; rep++ {
+		if ids := run(rep); !reflect.DeepEqual(ids, want) {
+			t.Fatalf("run %d: completion order %v, want %v", rep, ids, want)
+		}
+	}
+}

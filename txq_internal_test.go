@@ -1,0 +1,34 @@
+package aquago
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestTxQueuedNodesSortedLocked pins the dispatch gate's scan order to
+// ascending device IDs. The gate formerly ranged over the tx.nodes map
+// directly, so its scan order rode Go's per-run map randomization;
+// with 64 nodes an unsorted materialization comes back ascending with
+// probability 1/64!, so this test fails essentially always without
+// the sort in txQueuedNodesSortedLocked.
+func TestTxQueuedNodesSortedLocked(t *testing.T) {
+	const nNodes = 64
+	n := &Network{}
+	n.tx.nodes = make(map[*Node]struct{}, nNodes)
+	// Insert in descending ID order so even an insertion-ordered map
+	// would not be accidentally ascending.
+	for id := nNodes - 1; id >= 0; id-- {
+		n.tx.nodes[&Node{id: DeviceID(id)}] = struct{}{}
+	}
+	got := n.txQueuedNodesSortedLocked()
+	if len(got) != nNodes {
+		t.Fatalf("materialized %d nodes, want %d", len(got), nNodes)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].id < got[j].id }) {
+		ids := make([]DeviceID, len(got))
+		for i, nd := range got {
+			ids[i] = nd.id
+		}
+		t.Fatalf("dispatch-gate node scan is not in device-ID order: %v", ids)
+	}
+}

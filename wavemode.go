@@ -60,6 +60,7 @@ func (ws *waveSlot) carry(from, to int, tx []float64, atS float64) []float64 {
 	bank.AmbientNoise(out, to, baseS)
 	if probe := ws.net.cfg.sirProbe; probe != nil {
 		ws.net.traceMu.Lock()
+		//aqualint:callback-under-lock WithSIRProbe documents the hook as serialized, quick, and never re-entering the network; traceMu is the leaf of the lock order and only serializes delivery
 		probe(SIRSample{
 			Tx: ws.idOf(from), Rx: ws.idOf(to), AtS: baseS,
 			SignalPower: sigPower, InterferencePower: intPower,
