@@ -13,6 +13,7 @@
 //	aquabench -macload [-quick] [-json]
 //	aquabench -multihop [-quick] [-json]
 //	aquabench -scale [-quick] [-json]
+//	aquabench -image [-quick] [-json]
 //	aquabench -all [-quick] [-json] [-out BENCH_exp.json] [-diff BENCH_exp.json]
 //
 // -workers sizes the parallel experiment engine (0 = one worker per
@@ -26,7 +27,9 @@
 // goodput and the scale harness's committed exchanges per wall-second
 // — against a reference bench file and exits non-zero on a > 15 %
 // regression (the CI bench job's gate). -scale runs the harbor
-// build-out sweep (250 to 10k nodes; quick mode stops at 1k).
+// build-out sweep (250 to 10k nodes; quick mode stops at 1k). -image
+// runs the progressive image transmission study (ARQ stream goodput
+// and time-to-first-usable-preview vs range, hop count and load).
 package main
 
 import (
@@ -73,17 +76,18 @@ type benchFile struct {
 	Experiments []benchExperiment `json:"experiments"`
 }
 
-// macloadIDs / multihopIDs / scaleIDs are the experiments the
-// shorthand flags select.
+// macloadIDs / multihopIDs / scaleIDs / imageIDs are the experiments
+// the shorthand flags select.
 var (
 	macloadIDs  = []string{"macload", "macsir"}
 	multihopIDs = []string{"multihop"}
 	scaleIDs    = []string{"scale"}
+	imageIDs    = []string{"image"}
 )
 
 // selectExperiments resolves the selection flags into experiment IDs,
 // de-duplicated in run order.
-func selectExperiments(all, macload, multihop, scale bool, ids string) ([]string, error) {
+func selectExperiments(all, macload, multihop, scale, image bool, ids string) ([]string, error) {
 	var selected []string
 	switch {
 	case all:
@@ -102,8 +106,11 @@ func selectExperiments(all, macload, multihop, scale bool, ids string) ([]string
 	if scale {
 		selected = append(selected, scaleIDs...)
 	}
+	if image {
+		selected = append(selected, imageIDs...)
+	}
 	if len(selected) == 0 {
-		return nil, errors.New("pass -all, -exp id[,id...], -macload, -multihop, -scale or -list")
+		return nil, errors.New("pass -all, -exp id[,id...], -macload, -multihop, -scale, -image or -list")
 	}
 	seen := make(map[string]bool, len(selected))
 	out := selected[:0]
@@ -262,6 +269,7 @@ func main() {
 	macload := flag.Bool("macload", false, "run the MAC goodput sweep and capture-effect SIR study (macload, macsir)")
 	multihop := flag.Bool("multihop", false, "run the multi-hop relay study (multihop)")
 	scale := flag.Bool("scale", false, "run the 1k-10k-node harbor build-out sweep (scale)")
+	image := flag.Bool("image", false, "run the progressive image transmission study (image)")
 	packets := flag.Int("packets", 0, "packets per measurement point (0 = default 100)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
@@ -281,7 +289,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(2)
 	}
-	selected, err := selectExperiments(*all, *macload, *multihop, *scale, *ids)
+	selected, err := selectExperiments(*all, *macload, *multihop, *scale, *image, *ids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(2)

@@ -10,27 +10,29 @@ import (
 
 func TestSelectExperiments(t *testing.T) {
 	cases := []struct {
-		name                          string
-		all, macload, multihop, scale bool
-		ids                           string
-		want                          []string
-		wantErr                       string
+		name                                 string
+		all, macload, multihop, scale, image bool
+		ids                                  string
+		want                                 []string
+		wantErr                              string
 	}{
 		{name: "nothing selected", wantErr: "pass -all"},
 		{name: "macload shorthand", macload: true, want: []string{"macload", "macsir"}},
 		{name: "multihop shorthand", multihop: true, want: []string{"multihop"}},
 		{name: "scale shorthand", scale: true, want: []string{"scale"}},
+		{name: "image shorthand", image: true, want: []string{"image"}},
 		{name: "explicit ids", ids: "fig09, fig12", want: []string{"fig09", "fig12"}},
 		{name: "ids plus macload", ids: "fig09", macload: true, want: []string{"fig09", "macload", "macsir"}},
 		{name: "macload deduplicates", ids: "macload", macload: true, want: []string{"macload", "macsir"}},
-		{name: "all shorthands", macload: true, multihop: true, scale: true,
-			want: []string{"macload", "macsir", "multihop", "scale"}},
+		{name: "all shorthands", macload: true, multihop: true, scale: true, image: true,
+			want: []string{"macload", "macsir", "multihop", "scale", "image"}},
 		{name: "multihop deduplicates", ids: "multihop", multihop: true, want: []string{"multihop"}},
 		{name: "scale deduplicates", ids: "scale", scale: true, want: []string{"scale"}},
+		{name: "image deduplicates", ids: "image", image: true, want: []string{"image"}},
 		{name: "empty id", ids: "fig09,,fig12", wantErr: "empty experiment ID"},
 	}
 	for _, tc := range cases {
-		got, err := selectExperiments(tc.all, tc.macload, tc.multihop, tc.scale, tc.ids)
+		got, err := selectExperiments(tc.all, tc.macload, tc.multihop, tc.scale, tc.image, tc.ids)
 		switch {
 		case tc.wantErr != "":
 			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
@@ -53,7 +55,7 @@ func TestSelectExperiments(t *testing.T) {
 	}
 	// -all must include the new experiments (the bench job relies on
 	// one invocation covering every gated throughput block).
-	all, err := selectExperiments(true, false, false, false, "")
+	all, err := selectExperiments(true, false, false, false, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,8 +63,8 @@ func TestSelectExperiments(t *testing.T) {
 	for _, id := range all {
 		found[id] = true
 	}
-	if !found["macload"] || !found["macsir"] || !found["multihop"] || !found["scale"] {
-		t.Fatalf("-all selection %v is missing macload/macsir/multihop/scale", all)
+	if !found["macload"] || !found["macsir"] || !found["multihop"] || !found["scale"] || !found["image"] {
+		t.Fatalf("-all selection %v is missing macload/macsir/multihop/scale/image", all)
 	}
 }
 
@@ -185,6 +187,35 @@ func TestDiffThroughput(t *testing.T) {
 	// A reference without gated series gates nothing.
 	if err := diffThroughput(fileWith(entry("fig09")), bad, 0.15); err != nil {
 		t.Fatalf("throughput-free reference flagged: %v", err)
+	}
+}
+
+// TestDiffThroughputGatesImageGoodput pins the image block's
+// membership in the -diff gate: its goodput series are gated, its
+// preview-time series are not (latency, like the relay study's).
+func TestDiffThroughputGatesImageGoodput(t *testing.T) {
+	ref := fileWith(entry("image",
+		goodputSeries("image goodput vs range (stream)", 10, 8),
+		exp.Series{Name: "time to first usable preview vs range (stream)", Y: []float64{2, 4}},
+	))
+	if err := diffThroughput(ref, ref, 0.15); err != nil {
+		t.Fatalf("identical image runs flagged: %v", err)
+	}
+	bad := fileWith(entry("image",
+		goodputSeries("image goodput vs range (stream)", 10, 4),
+		exp.Series{Name: "time to first usable preview vs range (stream)", Y: []float64{2, 4}},
+	))
+	err := diffThroughput(ref, bad, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "image goodput") {
+		t.Fatalf("image goodput regression not reported: %v", err)
+	}
+	// Slower previews alone do not trip the throughput gate.
+	slow := fileWith(entry("image",
+		goodputSeries("image goodput vs range (stream)", 10, 8),
+		exp.Series{Name: "time to first usable preview vs range (stream)", Y: []float64{20, 40}},
+	))
+	if err := diffThroughput(ref, slow, 0.15); err != nil {
+		t.Fatalf("preview-only slowdown flagged as throughput regression: %v", err)
 	}
 }
 

@@ -19,8 +19,14 @@
 // -pods-x/-pods-y/-podsize, spatially reusing the 60-tone space under
 // a bounded carrier-sense range — and relays cross-harbor messages,
 // reporting delivery counts and the build-out/routing/driving wall
-// costs (the sweep lives in `aquabench -scale`). All modes run
-// entirely on the public Network API.
+// costs (the sweep lives in `aquabench -scale`). The -stream mode
+// opens a reliable selective-repeat ARQ stream over a single link and
+// reports delivery, retransmission and goodput accounting; -image
+// sends an AquaScope-style progressive image (CRC-8 per block) over a
+// stream, a relay line (-hops) or concurrent streams (-streams) and
+// reports image goodput and time-to-first-usable-preview (the sweeps
+// live in `aquabench -image`). All modes run entirely on the public
+// Network API.
 //
 // Usage:
 //
@@ -35,6 +41,11 @@
 //	        [-mode envelope|waveform] [-seed 1] [-env bridge] [-csrange 0]
 //	aquanet -scale [-pods-x 5] [-pods-y 5] [-podsize 10] [-msgs 8]
 //	        [-workers 0] [-seed 1] [-env bridge] [-csrange 30]
+//	aquanet -stream [-range 25] [-bytes 32] [-window 0] [-stream-retries 4]
+//	        [-rto 0] [-mode envelope|waveform] [-workers 0] [-seed 1] [-env bridge]
+//	aquanet -image [-blocks 16] [-blocksize 7] [-preview 0] [-hops N]
+//	        [-streams 1] [-range 25] [-window 0] [-stream-retries 4] [-rto 0]
+//	        [-mode envelope|waveform] [-workers 0] [-seed 1] [-env bridge]
 package main
 
 import (
@@ -171,6 +182,77 @@ func buildScalePoint(podsX, podsY, podSize, msgs, workers int, seed int64,
 	return p, nil
 }
 
+// buildStreamPoint turns -stream flags into a validated stream
+// measurement point. Window, retry-budget and timer abuse (windows
+// outside [1, MaxStreamWindow], zero retries, NaN quanta) is rejected
+// by the point's own Validate, shared with the image harness.
+func buildStreamPoint(rangeM float64, bytes, window, retries int, rto float64,
+	mode string, workers int, seed int64, env aquago.Environment) (exp.StreamPoint, error) {
+	if err := validateCommonFlags(seed, 0); err != nil {
+		return exp.StreamPoint{}, err
+	}
+	m, err := parseMode(mode)
+	if err != nil {
+		return exp.StreamPoint{}, err
+	}
+	if workers < 0 {
+		return exp.StreamPoint{}, fmt.Errorf("-workers %d: use 0 for one per core", workers)
+	}
+	p := exp.StreamPoint{
+		RangeM:  rangeM,
+		Bytes:   bytes,
+		Window:  window,
+		Retries: retries,
+		RTOS:    rto,
+		Mode:    m,
+		Seed:    seed,
+		Workers: workers,
+		Env:     env,
+	}
+	if err := p.Validate(); err != nil {
+		return exp.StreamPoint{}, err
+	}
+	return p, nil
+}
+
+// buildImagePoint turns -image flags into a validated progressive
+// image point. Block geometry, preview thresholds, the hops/streams
+// axis clash and ARQ knob abuse are rejected by the point's own
+// Validate, shared with the image harness.
+func buildImagePoint(blocks, blockBytes, preview, hops, streams int,
+	rangeM float64, window, retries int, rto float64,
+	mode string, workers int, seed int64, env aquago.Environment) (exp.ImagePoint, error) {
+	if err := validateCommonFlags(seed, 0); err != nil {
+		return exp.ImagePoint{}, err
+	}
+	m, err := parseMode(mode)
+	if err != nil {
+		return exp.ImagePoint{}, err
+	}
+	if workers < 0 {
+		return exp.ImagePoint{}, fmt.Errorf("-workers %d: use 0 for one per core", workers)
+	}
+	p := exp.ImagePoint{
+		Blocks:        blocks,
+		BlockBytes:    blockBytes,
+		PreviewBlocks: preview,
+		Hops:          hops,
+		Streams:       streams,
+		RangeM:        rangeM,
+		Window:        window,
+		Retries:       retries,
+		RTOS:          rto,
+		Mode:          m,
+		Seed:          seed,
+		Workers:       workers,
+		Env:           env,
+	}
+	if err := p.Validate(); err != nil {
+		return exp.ImagePoint{}, err
+	}
+	return p, nil
+}
+
 // parsePolicy maps the -policy flag onto a routing policy.
 func parsePolicy(policy string) (aquago.RoutingPolicy, error) {
 	switch policy {
@@ -258,6 +340,17 @@ func main() {
 	podsY := flag.Int("pods-y", 5, "pod lattice rows (-scale)")
 	podSize := flag.Int("podsize", 10, "devices per pod, 1..15 (-scale)")
 	msgs := flag.Int("msgs", 8, "cross-harbor messages to relay (-scale)")
+	stream := flag.Bool("stream", false, "stream mode: reliable selective-repeat ARQ transfer over one link")
+	image := flag.Bool("image", false, "image mode: progressive image transmission over a stream, relay line or concurrent streams")
+	rangeM := flag.Float64("range", 25, "link length / hop spacing in meters (-stream, -image)")
+	streamBytes := flag.Int("bytes", 32, "stream payload size in bytes (-stream)")
+	window := flag.Int("window", 0, "ARQ sender window in segments, 0 = default (-stream, -image)")
+	streamRetries := flag.Int("stream-retries", 4, "per-segment retransmission budget, >= 1 (-stream, -image)")
+	rto := flag.Float64("rto", 0, "retransmission backoff quantum in virtual seconds, 0 = adaptive (-stream, -image)")
+	blocks := flag.Int("blocks", 16, "image blocks (-image)")
+	blockSize := flag.Int("blocksize", 7, "bytes per image block before its CRC-8 trailer (-image)")
+	preview := flag.Int("preview", 0, "blocks needed for a usable preview, 0 = a quarter of the image (-image)")
+	streams := flag.Int("streams", 1, "concurrent image streams through one pod (-image)")
 	flag.Parse()
 
 	env, ok := channel.ByName(*envName)
@@ -266,13 +359,39 @@ func main() {
 		os.Exit(1)
 	}
 	modes := 0
-	for _, on := range []bool{*relay, *load, *scale} {
+	for _, on := range []bool{*relay, *load, *scale, *stream, *image} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(errors.New("pick one of -relay, -load and -scale"))
+		fatal(errors.New("pick one of -relay, -load, -scale, -stream and -image"))
+	}
+	if *stream {
+		pt, err := buildStreamPoint(*rangeM, *streamBytes, *window, *streamRetries, *rto,
+			*mode, *workers, *seed, env)
+		if err != nil {
+			fatal(err)
+		}
+		runStream(pt, env.Name)
+		return
+	}
+	if *image {
+		// -hops opts the image onto the relay line; unset, it rides a
+		// direct stream (the -relay default of 3 must not leak in).
+		imageHops := 1
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "hops" {
+				imageHops = *hops
+			}
+		})
+		pt, err := buildImagePoint(*blocks, *blockSize, *preview, imageHops, *streams,
+			*rangeM, *window, *streamRetries, *rto, *mode, *workers, *seed, env)
+		if err != nil {
+			fatal(err)
+		}
+		runImage(pt, env.Name)
+		return
 	}
 	if *scale {
 		pt, err := buildScalePoint(*podsX, *podsY, *podSize, *msgs, *workers, *seed, *csRange, env)
@@ -404,6 +523,74 @@ func runScale(pt exp.ScalePoint, envName string) {
 	fmt.Printf("scheduler   %d granted, %d committed (%.1f exchanges/wall-s), airtime %.1f s, %d conflict edges\n",
 		res.Sched.Granted, res.Sched.Committed, res.CommittedPerWallSec,
 		res.Sched.AirtimeS, res.Sched.ConflictEdges)
+}
+
+// runStream measures one reliable stream transfer and prints the ARQ
+// accounting the image harness aggregates.
+func runStream(pt exp.StreamPoint, envName string) {
+	modeName := "envelope"
+	if pt.Mode == aquago.WaveformContention {
+		modeName = "waveform"
+	}
+	window := pt.Window
+	if window == 0 {
+		window = aquago.DefaultStreamWindow
+	}
+	fmt.Printf("Stream simulation: %d bytes over %g m, %s, %s mode, window %d, %d retransmission(s) per segment\n",
+		pt.Bytes, pt.RangeM, envName, modeName, window, pt.Retries)
+	res, err := exp.RunStreamPoint(pt)
+	if err != nil {
+		fatal(err)
+	}
+	outcome := "complete"
+	if res.Degraded {
+		outcome = "degraded (budget exhausted; delivered prefix kept)"
+	}
+	fmt.Printf("delivered   %d/%d bytes in order, %s\n", res.DeliveredBytes, res.Bytes, outcome)
+	fmt.Printf("arq         %d segments, %d attempts, %d retransmit(s), %d duplicate(s) absorbed\n",
+		res.Segments, res.Attempts, res.Retransmits, res.DupSegments)
+	fmt.Printf("end-to-end  first byte %.2f s, %.2f s latency, %.2f bps goodput\n",
+		res.FirstByteS, res.LatencyS, res.GoodputBPS)
+}
+
+// runImage measures one progressive image transmission and prints the
+// goodput and preview numbers the image harness sweeps.
+func runImage(pt exp.ImagePoint, envName string) {
+	modeName := "envelope"
+	if pt.Mode == aquago.WaveformContention {
+		modeName = "waveform"
+	}
+	transport := "direct stream"
+	switch {
+	case pt.Hops > 1:
+		transport = fmt.Sprintf("%d-hop pipelined relay", pt.Hops)
+	case pt.Streams > 1:
+		transport = fmt.Sprintf("%d concurrent streams", pt.Streams)
+	}
+	fmt.Printf("Image simulation: %d blocks x %d B (+CRC-8) over %g m, %s, %s mode, %s\n",
+		pt.Blocks, pt.BlockBytes, pt.RangeM, envName, modeName, transport)
+	res, err := exp.RunImagePoint(pt)
+	if err != nil {
+		fatal(err)
+	}
+	outcome := "complete"
+	if res.Degraded {
+		outcome = "degraded to the verified prefix"
+	}
+	totalBlocks := res.Blocks
+	if pt.Streams > 1 {
+		totalBlocks *= pt.Streams
+	}
+	fmt.Printf("image       %d/%d blocks usable, %d bad CRC, %s\n",
+		res.UsableBlocks, totalBlocks, res.BadCRCBlocks, outcome)
+	fmt.Printf("transport   %d bytes delivered, %d attempts, %d retransmit(s), %d duplicate(s)\n",
+		res.DeliveredBytes, res.Attempts, res.Retransmits, res.DupSegments)
+	preview := "never"
+	if res.FirstPreviewS > 0 {
+		preview = fmt.Sprintf("%.2f s", res.FirstPreviewS)
+	}
+	fmt.Printf("end-to-end  first usable preview %s, %.2f s total, %.2f bps image goodput\n",
+		preview, res.TotalS, res.GoodputBPS)
 }
 
 // runFig19 is the original batch contention mode.

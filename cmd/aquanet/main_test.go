@@ -173,6 +173,123 @@ func TestBuildScalePoint(t *testing.T) {
 	}
 }
 
+// TestBuildStreamPoint covers the -stream flag error paths, funneled
+// through the stream harness point's own Validate so CLI and harness
+// cannot drift apart on what is runnable.
+func TestBuildStreamPoint(t *testing.T) {
+	type args struct {
+		rangeM  float64
+		bytes   int
+		window  int
+		retries int
+		rto     float64
+		mode    string
+		workers int
+		seed    int64
+	}
+	good := args{rangeM: 25, bytes: 32, retries: 4, mode: "envelope", seed: 1}
+	cases := []struct {
+		name    string
+		mutate  func(*args)
+		wantErr string
+	}{
+		{"defaults", func(*args) {}, ""},
+		{"waveform mode", func(a *args) { a.mode = "waveform" }, ""},
+		{"max window", func(a *args) { a.window = aquago.MaxStreamWindow }, ""},
+		{"explicit rto", func(a *args) { a.rto = 0.5 }, ""},
+		{"NaN range", func(a *args) { a.rangeM = math.NaN() }, "not a usable distance"},
+		{"negative range", func(a *args) { a.rangeM = -5 }, "not a usable distance"},
+		{"no payload", func(a *args) { a.bytes = 0 }, "need a payload"},
+		{"huge payload", func(a *args) { a.bytes = 1 << 20 }, "cap"},
+		{"bad window", func(a *args) { a.window = -1 }, "window"},
+		{"oversized window", func(a *args) { a.window = aquago.MaxStreamWindow + 1 }, "window"},
+		{"zero retries", func(a *args) { a.retries = 0 }, "at least 1"},
+		{"NaN timer", func(a *args) { a.rto = math.NaN() }, "not a usable duration"},
+		{"negative timer", func(a *args) { a.rto = -2 }, "not a usable duration"},
+		{"bad mode", func(a *args) { a.mode = "sonar" }, "pick envelope or waveform"},
+		{"negative workers", func(a *args) { a.workers = -1 }, "-workers"},
+		{"negative seed", func(a *args) { a.seed = -1 }, "out of range"},
+	}
+	for _, tc := range cases {
+		a := good
+		tc.mutate(&a)
+		pt, err := buildStreamPoint(a.rangeM, a.bytes, a.window, a.retries, a.rto,
+			a.mode, a.workers, a.seed, aquago.Bridge)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: error expected, got nil", tc.name)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		case tc.wantErr == "":
+			if pt.RangeM != a.rangeM || pt.Bytes != a.bytes || pt.Window != a.window ||
+				pt.Retries != a.retries || pt.RTOS != a.rto {
+				t.Errorf("%s: flags did not map onto the point: %+v", tc.name, pt)
+			}
+		}
+	}
+}
+
+// TestBuildImagePoint covers the -image flag error paths, including
+// the hops/streams axis clash only the CLI can produce.
+func TestBuildImagePoint(t *testing.T) {
+	type args struct {
+		blocks, blockSize, preview int
+		hops, streams              int
+		rangeM                     float64
+		window, retries            int
+		rto                        float64
+		mode                       string
+		workers                    int
+		seed                       int64
+	}
+	good := args{blocks: 16, blockSize: 7, hops: 1, streams: 1,
+		rangeM: 25, retries: 4, mode: "envelope", seed: 1}
+	cases := []struct {
+		name    string
+		mutate  func(*args)
+		wantErr string
+	}{
+		{"defaults", func(*args) {}, ""},
+		{"relay axis", func(a *args) { a.hops = 3 }, ""},
+		{"load axis", func(a *args) { a.streams = 3 }, ""},
+		{"explicit preview", func(a *args) { a.preview = 2 }, ""},
+		{"no blocks", func(a *args) { a.blocks = 0 }, "at least one block"},
+		{"empty blocks", func(a *args) { a.blockSize = 0 }, "at least one byte"},
+		{"huge image", func(a *args) { a.blocks = 2048; a.blockSize = 7 }, "cap"},
+		{"preview past end", func(a *args) { a.preview = 17 }, "preview threshold"},
+		{"too many hops", func(a *args) { a.hops = 60 }, "60-device limit"},
+		{"hops and streams", func(a *args) { a.hops = 3; a.streams = 2 }, "direct links"},
+		{"too many streams", func(a *args) { a.streams = 9 }, "outside [1, 8]"},
+		{"bad window", func(a *args) { a.window = aquago.MaxStreamWindow + 1 }, "window"},
+		{"zero retries", func(a *args) { a.retries = 0 }, "at least 1"},
+		{"NaN timer", func(a *args) { a.rto = math.NaN() }, "not a usable duration"},
+		{"bad mode", func(a *args) { a.mode = "sonar" }, "pick envelope or waveform"},
+		{"negative workers", func(a *args) { a.workers = -3 }, "-workers"},
+		{"negative seed", func(a *args) { a.seed = -1 }, "out of range"},
+	}
+	for _, tc := range cases {
+		a := good
+		tc.mutate(&a)
+		pt, err := buildImagePoint(a.blocks, a.blockSize, a.preview, a.hops, a.streams,
+			a.rangeM, a.window, a.retries, a.rto, a.mode, a.workers, a.seed, aquago.Bridge)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: error expected, got nil", tc.name)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		case tc.wantErr == "":
+			if pt.Blocks != a.blocks || pt.BlockBytes != a.blockSize ||
+				pt.Hops != a.hops || pt.Streams != a.streams || pt.Retries != a.retries {
+				t.Errorf("%s: flags did not map onto the point: %+v", tc.name, pt)
+			}
+		}
+	}
+}
+
 // TestBuildRelayPoint covers the -relay flag error paths, funneled
 // through the multihop harness point's own Validate so CLI and
 // harness cannot drift apart on what is runnable.

@@ -77,6 +77,16 @@ var (
 	// work drains with this error, and new sends from — or addressed
 	// to — the departed node are refused with it.
 	ErrNodeLeft = errors.New("aquago: node left the network")
+
+	// The stream transport's taxonomy (stream.go). ErrBadStream: an
+	// OpenStream option outside its valid range — a window outside
+	// [1, MaxStreamWindow], a negative retry budget, or a non-finite
+	// retransmission quantum.
+	ErrBadStream = errors.New("aquago: invalid stream configuration")
+	// ErrStreamClosed: a Write on a stream whose write side was closed
+	// (CloseWrite) or that was torn down (Close); Close on a stream
+	// with unacknowledged data also fails the stream with it.
+	ErrStreamClosed = errors.New("aquago: stream closed")
 )
 
 // ChannelBusyError is the concrete error behind ErrChannelBusy: the
@@ -144,3 +154,33 @@ func (e *RelayError) Error() string {
 
 // Unwrap exposes the failed hop's cause to errors.Is/errors.As.
 func (e *RelayError) Unwrap() error { return e.Err }
+
+// StreamError reports a reliable stream (Node.OpenStream) that failed:
+// which segment died, between which devices, and why. The underlying
+// cause unwraps, so the taxonomy composes the same way RelayError's
+// does:
+//
+//	var serr *aquago.StreamError
+//	if errors.As(err, &serr) {
+//	    log.Printf("segment %d (%d -> %d) failed", serr.Seq, serr.From, serr.To)
+//	}
+//	if errors.Is(err, aquago.ErrNoACK) { ... } // retransmissions exhausted
+type StreamError struct {
+	// Seq is the zero-based segment (= payload byte offset) the stream
+	// died on.
+	Seq int
+	// From and To are the stream's endpoints.
+	From, To DeviceID
+	// Err is the underlying failure (ErrNoACK after the budget ran
+	// out, ErrTxCancelled, ErrNodeLeft, ...).
+	Err error
+}
+
+// Error implements error.
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("aquago: stream segment %d (%d -> %d) failed: %v",
+		e.Seq, e.From, e.To, e.Err)
+}
+
+// Unwrap exposes the failed segment's cause to errors.Is/errors.As.
+func (e *StreamError) Unwrap() error { return e.Err }

@@ -126,6 +126,8 @@ type networkConfig struct {
 	deliveryBuffer  int
 	persist         float64
 	adaptiveBackoff bool
+	bulkRetries     int
+	bulkRetriesSet  bool
 }
 
 // WithNetworkSeed fixes the random realization of every channel and
@@ -236,6 +238,23 @@ func WithDeliveryBuffer(n int) NetworkOption {
 // remain deterministic and worker-count invariant).
 func WithPPersistence(p float64) NetworkOption {
 	return func(c *networkConfig) { c.persist = p }
+}
+
+// DefaultBulkRetries is the bulk relay's per-packet-per-hop
+// retransmission budget when WithBulkRetries is not given.
+const DefaultBulkRetries = 2
+
+// WithBulkRetries sets how many times the bulk relay layer
+// (SendBulkVia and the pipelined variant) retransmits one packet's
+// hop after a transient failure — a lost ACK or a busy channel —
+// before the transfer dies with a *RelayError. Each retransmission
+// re-enters the MAC and the conflict-graph scheduler with an
+// exponentially backed virtual-clock floor scaled by the node's
+// backoff quantum. 0 restores the old abort-on-first-loss behavior;
+// n must not be negative (NewNetwork errors otherwise). Default
+// DefaultBulkRetries.
+func WithBulkRetries(n int) NetworkOption {
+	return func(c *networkConfig) { c.bulkRetries, c.bulkRetriesSet = n, true }
 }
 
 // WithAdaptiveBackoff scales each node's MAC backoff quantum to its
@@ -380,6 +399,12 @@ func NewNetwork(env Environment, opts ...NetworkOption) (*Network, error) {
 	}
 	if cfg.persist < 0 || cfg.persist > 1 || math.IsNaN(cfg.persist) {
 		return nil, fmt.Errorf("aquago: p-persistence %v outside (0, 1]", cfg.persist)
+	}
+	if !cfg.bulkRetriesSet {
+		cfg.bulkRetries = DefaultBulkRetries
+	}
+	if cfg.bulkRetries < 0 {
+		return nil, fmt.Errorf("aquago: bulk retry budget %d must not be negative", cfg.bulkRetries)
 	}
 	med := sim.New(env)
 	med.CSRangeM = cfg.csRangeM

@@ -142,6 +142,21 @@ func (nd *Node) ClockS() float64 {
 	return nd.clockS
 }
 
+// backoffQuantumS is the node's retransmission backoff quantum above
+// the MAC: its last committed attempt's actual on-air duration (the
+// adaptive quantum, see WithAdaptiveBackoff) when one exists, else
+// the conservative full-band exchange airtime. The stream transport
+// and the relay retry loops scale their virtual-clock retransmission
+// floors by it.
+func (nd *Node) backoffQuantumS() float64 {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	if nd.adaptAirtimeS > 0 {
+		return nd.adaptAirtimeS
+	}
+	return nd.airtimeS
+}
+
 // AdvanceClock idles the node until atS on the shared virtual
 // timeline: its next transmission becomes ready no earlier than atS.
 // The clock never moves backward — a time at or before the current

@@ -53,12 +53,21 @@ type BulkResult struct {
 	DeliveredBytes int
 	Received       []byte
 	// Attempts totals physical transmission attempts across all
-	// packets and hops.
+	// packets and hops, the link layer's own retries included.
 	Attempts int
+	// Retries counts relay-layer retransmissions: hop sends re-issued
+	// after a transient failure (lost ACK, busy channel) under the
+	// network's bulk retry budget (WithBulkRetries). Zero on a
+	// transfer that never lost a packet.
+	Retries int
 	// Bands records the band each delivered packet's final hop used —
 	// the per-packet re-adaptation trace (bands differ as the channel
 	// evolves between packets).
 	Bands []Band
+	// PacketEndS records the virtual time each delivered packet's last
+	// sample reached the destination, in packet order (parallel to
+	// Bands). Progressive workloads read time-to-first-byte off it.
+	PacketEndS []float64
 	// StartS/EndS bound the transfer on the virtual timeline: the
 	// source's clock when the transfer began, and the instant the last
 	// delivered packet reached the destination.
@@ -118,6 +127,29 @@ func hopFailed(res SendResult, err error) error {
 	return nil
 }
 
+// bulkRetryFloorS computes the virtual-clock ready floor for
+// retransmission try+1 of a hop send that failed at endS: an
+// exponential backoff in the transmitter's quantum (its adapted
+// airtime when one exists, else the full-band worst case), from the
+// attempt's end — or from the MAC's busy-until time when the channel
+// never granted access, or the node's own clock when the send never
+// reached the air at all.
+func bulkRetryFloorS(nd *Node, endS float64, ferr error, try int) float64 {
+	floor := endS
+	var busy *ChannelBusyError
+	if errors.As(ferr, &busy) && busy.BusyUntilS > floor {
+		floor = busy.BusyUntilS
+	}
+	if floor == 0 {
+		floor = nd.ClockS()
+	}
+	exp := try
+	if exp > streamBackoffCap {
+		exp = streamBackoffCap
+	}
+	return floor + nd.backoffQuantumS()*float64(int(1)<<exp)
+}
+
 // SendVia delivers one or two codebook messages along an explicit
 // relay path: path[0] transmits to path[1], which stores and forwards
 // to path[2], and so on, each hop re-entering the carrier-sense MAC
@@ -175,6 +207,14 @@ func (n *Network) SendVia(ctx context.Context, path []DeviceID, msgs ...uint8) (
 // conserved hop to hop. Stage events carry both the hop and the
 // packet context (StageEvent.BulkPkt/BulkPkts).
 //
+// A hop send that fails transiently — every attempt unACKed and
+// undecoded, or the MAC never granting the channel — is retransmitted
+// up to the network's bulk retry budget (WithBulkRetries, default
+// DefaultBulkRetries), each retry re-entering the MAC after an
+// exponentially backed virtual-clock floor; BulkResult.Retries counts
+// them. Only an exhausted budget (or a non-transient failure: context
+// cancelled, node left) kills the transfer.
+//
 // Odd-length payloads pad the final packet on the air; the pad byte
 // never reaches Received. Errors follow SendVia's contract, with
 // RelayError.Pkt naming the packet the path died on; the BulkResult
@@ -201,10 +241,27 @@ func (n *Network) SendBulkVia(ctx context.Context, path []DeviceID, payload []by
 		}
 		for h := 0; h < hops; h++ {
 			rc := relayCtx{hop: h, pathHops: hops, bulkPkt: p, bulkPkts: out.Packets}
-			res, endS, err := nodes[h].sendWith(ctx, path[h+1], rc, 0, &chunk, 0, 0)
-			out.Attempts += res.Attempts
-			if ferr := hopFailed(res, err); ferr != nil {
-				return out, &RelayError{Hop: h, From: path[h], To: path[h+1], Path: out.Path, Pkt: p, Err: ferr}
+			var (
+				res  SendResult
+				endS float64
+			)
+			floor := 0.0
+			for try := 0; ; try++ {
+				var err error
+				res, endS, err = nodes[h].sendWith(ctx, path[h+1], rc, floor, &chunk, 0, 0)
+				out.Attempts += res.Attempts
+				ferr := hopFailed(res, err)
+				if ferr == nil {
+					break
+				}
+				// Lost ACKs and busy channels are transient: retransmit
+				// under the budget, backing off on the virtual clock so
+				// the retry re-contends instead of hammering the channel.
+				if !streamRetryable(ferr) || try >= n.cfg.bulkRetries {
+					return out, &RelayError{Hop: h, From: path[h], To: path[h+1], Path: out.Path, Pkt: p, Err: ferr}
+				}
+				out.Retries++
+				floor = bulkRetryFloorS(nodes[h], endS, ferr, try)
 			}
 			// The relay now possesses the chunk byte-exactly: a hop only
 			// continues when some attempt *delivered*, and Delivered is
@@ -217,6 +274,7 @@ func (n *Network) SendBulkVia(ctx context.Context, path []DeviceID, payload []by
 			} else {
 				out.EndS = endS
 				out.Bands = append(out.Bands, res.Last.Band)
+				out.PacketEndS = append(out.PacketEndS, endS)
 			}
 		}
 		out.DeliveredPackets++
@@ -269,11 +327,31 @@ type bulkPipeline struct {
 	finished    bool
 	// active maps packet index -> its current hop's handle.
 	active map[int]*TxHandle
+	// hopTries counts a packet's retransmissions on its *current* hop
+	// (cleared when the packet advances); pkts records each packet's
+	// end-to-end outcome for the contiguous-prefix finalize.
+	hopTries map[int]int
+	pkts     []bulkPktRecord
 
-	failed            bool
-	cancelling        bool
-	failPkt, failHop  int
-	failErr           error
+	failed           bool
+	cancelling       bool
+	failPkt, failHop int
+	failErr          error
+}
+
+// bulkPktRecord is one packet's end-to-end outcome in a pipelined
+// transfer. Deliveries are recorded here rather than appended to
+// Received directly: packets complete in packet order on the final
+// hop, but a failure recorded at a low packet index must not let a
+// higher packet that was already past the failed hop count as
+// delivered payload — the finalize walks the records and keeps only
+// the contiguous delivered prefix.
+type bulkPktRecord struct {
+	delivered bool
+	chunk     [2]byte
+	padded    bool
+	band      Band
+	endS      float64
 }
 
 // pipelineWindow is how many packets the source keeps admitted ahead:
@@ -293,11 +371,16 @@ const pipelineWindow = 2
 // the result converges to the sequential transfer's.
 //
 // The transfer runs at TxBulk priority, so concurrent conversational
-// sends overtake it at every hop. A hop failure stops admission,
+// sends overtake it at every hop. Transient hop failures retransmit
+// under the network's bulk retry budget exactly as in SendBulkVia,
+// the retry re-entering the relay's own queue with a backed-off
+// virtual-clock floor. A hop whose budget runs out stops admission,
 // withdraws the failed packet's successors, lets already-ahead
 // packets finish, and returns a *RelayError naming the first failed
-// packet and hop; Received then holds the contiguous delivered
-// prefix. Cancelling ctx aborts the transfer the same way.
+// packet and hop; Received then holds the contiguous delivered prefix
+// — a packet that was already past the failed hop, or even delivered
+// end-to-end behind the failure, never counts as delivered payload.
+// Cancelling ctx aborts the transfer the same way.
 func (n *Network) SendBulkViaPipelined(ctx context.Context, path []DeviceID, payload []byte) (BulkResult, error) {
 	nodes, err := n.resolvePath(path)
 	if err != nil {
@@ -312,15 +395,17 @@ func (n *Network) SendBulkViaPipelined(ctx context.Context, path []DeviceID, pay
 	tr := &bulkPipeline{
 		n: n, ctx: ctx, nodes: nodes,
 		path: append([]DeviceID(nil), path...), payload: payload,
-		hops: len(path) - 1,
-		done: make(chan struct{}),
-		active: make(map[int]*TxHandle),
+		hops:     len(path) - 1,
+		done:     make(chan struct{}),
+		active:   make(map[int]*TxHandle),
+		hopTries: make(map[int]int),
 	}
 	tr.out = BulkResult{
 		Path:    tr.path,
 		Packets: (len(payload) + 1) / 2,
 		StartS:  nodes[0].ClockS(),
 	}
+	tr.pkts = make([]bulkPktRecord, tr.out.Packets)
 	tr.outstanding = tr.out.Packets
 	window := pipelineWindow
 	if window > n.cfg.txQueueCap {
@@ -336,6 +421,7 @@ func (n *Network) SendBulkViaPipelined(ctx context.Context, path []DeviceID, pay
 	// Every admitted job carries ctx, and failures stop admission, so
 	// the pipeline always drains: no select on ctx needed here.
 	<-tr.done
+	tr.finalize()
 	if tr.failed {
 		return tr.out, &RelayError{
 			Hop: tr.failHop, From: tr.path[tr.failHop], To: tr.path[tr.failHop+1],
@@ -413,6 +499,18 @@ func (tr *bulkPipeline) hopDone(hop, p int, chunk [2]byte, padded bool) func(TxD
 			defer tr.admitLocked()
 		}
 		switch {
+		case ferr != nil && tr.failed && p > tr.failPkt:
+			// The transfer already died at an earlier packet while this
+			// one was on the air; abandon it rather than retry.
+			tr.outstanding--
+		case ferr != nil && streamRetryable(ferr) && tr.hopTries[p] < tr.n.cfg.bulkRetries:
+			// Transient loss: retransmit this hop under the budget,
+			// re-entering the relay's queue with a backed-off floor so
+			// the retry re-contends instead of hammering the channel.
+			try := tr.hopTries[p]
+			tr.hopTries[p] = try + 1
+			tr.out.Retries++
+			tr.enqueueHopLocked(hop, p, bulkRetryFloorS(tr.nodes[hop], d.EndS, ferr, try))
 		case ferr != nil:
 			tr.outstanding--
 			tr.recordFailureLocked(p, hop, ferr)
@@ -423,26 +521,48 @@ func (tr *bulkPipeline) hopDone(hop, p int, chunk [2]byte, padded bool) func(TxD
 		case hop+1 < tr.hops:
 			// Forward: the next relay possesses the packet once the last
 			// attempt's final sample arrived, and may contend after a
-			// turnaround.
+			// turnaround. The retry counter restarts per hop.
+			delete(tr.hopTries, p)
 			tr.enqueueHopLocked(hop+1, p, d.EndS+relayTurnaroundS)
 		default:
-			// Delivered end-to-end. Final-hop jobs complete in packet
-			// order (FIFO at the last relay), so Received accumulates in
-			// payload order.
+			// Reached the destination. Record the outcome; the finalize
+			// keeps only the contiguous delivered prefix, so a packet
+			// that beat an earlier failure end-to-end never counts.
 			tr.outstanding--
-			tr.out.DeliveredPackets++
-			tr.out.Received = append(tr.out.Received, chunk[0])
-			tr.out.DeliveredBytes++
-			if !padded {
-				tr.out.Received = append(tr.out.Received, chunk[1])
-				tr.out.DeliveredBytes++
-			}
-			tr.out.Bands = append(tr.out.Bands, d.Result.Last.Band)
-			if d.EndS > tr.out.EndS {
-				tr.out.EndS = d.EndS
+			delete(tr.hopTries, p)
+			tr.pkts[p] = bulkPktRecord{
+				delivered: true, chunk: chunk, padded: padded,
+				band: d.Result.Last.Band, endS: d.EndS,
 			}
 		}
 		tr.finishIfDoneLocked()
+	}
+}
+
+// finalize folds the per-packet records into the public BulkResult
+// after the pipeline drained: Received/Bands/PacketEndS accumulate
+// the contiguous delivered prefix, in packet order, stopping at the
+// first packet that is not delivered end-to-end (on a failed transfer
+// that is at latest the failed packet). Runs unlocked — the transfer
+// is done and the records are immutable.
+func (tr *bulkPipeline) finalize() {
+	for p := 0; p < tr.out.Packets; p++ {
+		r := tr.pkts[p]
+		if !r.delivered {
+			break
+		}
+		tr.out.DeliveredPackets++
+		tr.out.Received = append(tr.out.Received, r.chunk[0])
+		tr.out.DeliveredBytes++
+		if !r.padded {
+			tr.out.Received = append(tr.out.Received, r.chunk[1])
+			tr.out.DeliveredBytes++
+		}
+		tr.out.Bands = append(tr.out.Bands, r.band)
+		tr.out.PacketEndS = append(tr.out.PacketEndS, r.endS)
+		if r.endS > tr.out.EndS {
+			tr.out.EndS = r.endS
+		}
 	}
 }
 

@@ -1,0 +1,188 @@
+package aquago_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"aquago"
+)
+
+// buildLossyLine joins a 3-hop line whose middle hop is stretched to
+// 76 m — inside the Bridge channel's marginal band, where individual
+// attempts genuinely fail and a retransmission can genuinely succeed.
+// The outer hops stay at the comfortable 25 m.
+func buildLossyLine(t *testing.T, seed int64, opts ...aquago.NetworkOption) (*aquago.Network, []aquago.DeviceID) {
+	t.Helper()
+	net, err := aquago.NewNetwork(aquago.Bridge,
+		append([]aquago.NetworkOption{
+			aquago.WithNetworkSeed(seed),
+			aquago.WithCSRange(110),
+		}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := make([]aquago.DeviceID, 0, 4)
+	for i, x := range []float64{0, 25, 101, 126} {
+		if _, err := net.Join(aquago.DeviceID(i), aquago.Position{X: x, Z: 1}, aquago.WithNodeClock(0)); err != nil {
+			t.Fatal(err)
+		}
+		path = append(path, aquago.DeviceID(i))
+	}
+	return net, path
+}
+
+// TestRelayRetryRecoversLossyHop is the headline bugfix scenario: on
+// a line with one marginal hop, a transfer with no retry budget dies
+// partway — one lost packet kills the whole transfer — while the
+// default per-packet budget re-enters the MAC with backoff and
+// delivers 100%, sequentially and pipelined. Seeds are pinned from a
+// scan of the deterministic channel; both halves are asserted so the
+// scenario keeps its teeth.
+func TestRelayRetryRecoversLossyHop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four bulk transfers over a marginal hop")
+	}
+	payload := []byte("progressive image!") // 18 bytes -> 9 packets
+	for _, seed := range []int64{14, 24} {
+		for _, pipelined := range []bool{false, true} {
+			send := func(net *aquago.Network, path []aquago.DeviceID) (aquago.BulkResult, error) {
+				if pipelined {
+					return net.SendBulkViaPipelined(context.Background(), path, payload)
+				}
+				return net.SendBulkVia(context.Background(), path, payload)
+			}
+
+			// Without a retry budget: the marginal hop's first bad attempt
+			// aborts everything after it.
+			net0, path := buildLossyLine(t, seed, aquago.WithBulkRetries(0))
+			res0, err0 := send(net0, path)
+			if err0 == nil {
+				t.Fatalf("seed %d pipelined=%v: transfer with no retry budget survived the marginal hop (%+v) — scenario lost its teeth",
+					seed, pipelined, res0)
+			}
+			var hopErr *aquago.RelayError
+			if !errors.As(err0, &hopErr) {
+				t.Fatalf("seed %d pipelined=%v: failure %v does not carry *RelayError", seed, pipelined, err0)
+			}
+			if !errors.Is(err0, aquago.ErrNoACK) && !errors.Is(err0, aquago.ErrChannelBusy) {
+				t.Fatalf("seed %d pipelined=%v: marginal hop failed for a non-transient cause: %v", seed, pipelined, err0)
+			}
+			if res0.DeliveredPackets == res0.Packets {
+				t.Fatalf("seed %d pipelined=%v: failed transfer claims full delivery: %+v", seed, pipelined, res0)
+			}
+			if res0.Retries != 0 {
+				t.Fatalf("seed %d pipelined=%v: zero-budget transfer spent %d retries", seed, pipelined, res0.Retries)
+			}
+
+			// With the default budget: the same channel realization
+			// delivers everything, and the retries that saved it are
+			// accounted.
+			net2, path := buildLossyLine(t, seed)
+			res2, err2 := send(net2, path)
+			if err2 != nil {
+				t.Fatalf("seed %d pipelined=%v: default retry budget still failed: %v (%+v)", seed, pipelined, err2, res2)
+			}
+			if !bytes.Equal(res2.Received, payload) {
+				t.Fatalf("seed %d pipelined=%v: payload not conserved: %q", seed, pipelined, res2.Received)
+			}
+			if res2.DeliveredPackets != res2.Packets || res2.DeliveredBytes != len(payload) {
+				t.Fatalf("seed %d pipelined=%v: delivery accounting wrong: %+v", seed, pipelined, res2)
+			}
+			if res2.Retries == 0 {
+				t.Fatalf("seed %d pipelined=%v: recovery spent no retries — the hop was not actually lossy", seed, pipelined)
+			}
+			if len(res2.PacketEndS) != res2.Packets {
+				t.Fatalf("seed %d pipelined=%v: per-packet arrival trace has %d entries, want %d",
+					seed, pipelined, len(res2.PacketEndS), res2.Packets)
+			}
+			for i, at := range res2.PacketEndS {
+				if !(at > 0) || at > res2.EndS {
+					t.Fatalf("seed %d pipelined=%v: packet %d arrival %g outside the transfer window (end %g)",
+						seed, pipelined, i, at, res2.EndS)
+				}
+				// Sequential transfers complete packets strictly in order;
+				// a pipelined one may finish packet k+1 first while packet
+				// k retransmits on an earlier hop.
+				if !pipelined && i > 0 && at < res2.PacketEndS[i-1] {
+					t.Fatalf("seed %d: sequential packet arrivals out of order: %v", seed, res2.PacketEndS)
+				}
+			}
+		}
+	}
+}
+
+// TestRelayPipelinedFailureContiguousPrefix pins the pipelined
+// failure contract: when a transfer dies mid-path, Received must be a
+// contiguous prefix of the payload and DeliveredBytes must count
+// exactly those bytes — packets that cleared early hops but never
+// reached the destination, and packets behind the failure, are
+// excluded even though the pipeline had them in flight.
+func TestRelayPipelinedFailureContiguousPrefix(t *testing.T) {
+	payload := []byte("progressive image!") // 9 packets
+	// Seeds scanned for mid-transfer deaths: some packets delivered end
+	// to end, then the marginal hop exhausts a packet's budget.
+	for _, tc := range []struct {
+		seed    int64
+		retries int
+	}{
+		{5, 0},
+		{21, 2},
+		{22, 2},
+	} {
+		net, path := buildLossyLine(t, tc.seed, aquago.WithBulkRetries(tc.retries))
+		res, err := net.SendBulkViaPipelined(context.Background(), path, payload)
+		if err == nil {
+			t.Fatalf("seed %d retries %d: expected a mid-transfer death, got %+v", tc.seed, tc.retries, res)
+		}
+		var hopErr *aquago.RelayError
+		if !errors.As(err, &hopErr) {
+			t.Fatalf("seed %d: failure %v does not carry *RelayError", tc.seed, err)
+		}
+		if res.DeliveredPackets >= res.Packets {
+			t.Fatalf("seed %d: failed transfer claims full delivery: %+v", tc.seed, res)
+		}
+		want := payload[:res.DeliveredBytes]
+		if !bytes.Equal(res.Received, want) {
+			t.Fatalf("seed %d: Received is not the contiguous payload prefix:\nwant %q\ngot  %q", tc.seed, want, res.Received)
+		}
+		if res.DeliveredBytes != 2*res.DeliveredPackets && res.DeliveredBytes != 2*res.DeliveredPackets-1 {
+			t.Fatalf("seed %d: DeliveredBytes %d inconsistent with %d delivered packets", tc.seed, res.DeliveredBytes, res.DeliveredPackets)
+		}
+		if len(res.Bands) != res.DeliveredPackets || len(res.PacketEndS) != res.DeliveredPackets {
+			t.Fatalf("seed %d: per-packet traces sized %d/%d, want %d", tc.seed, len(res.Bands), len(res.PacketEndS), res.DeliveredPackets)
+		}
+		if hopErr.Pkt < res.DeliveredPackets {
+			t.Fatalf("seed %d: failure attributed to packet %d, but %d packets were delivered end to end",
+				tc.seed, hopErr.Pkt, res.DeliveredPackets)
+		}
+	}
+}
+
+// TestRelayRetryBudgetValidation: the network refuses a negative
+// budget at construction, and WithBulkRetries(0) restores the
+// fail-fast behavior (a transfer over a dead hop spends no retries).
+func TestRelayRetryBudgetValidation(t *testing.T) {
+	if _, err := aquago.NewNetwork(aquago.Bridge, aquago.WithBulkRetries(-1)); err == nil {
+		t.Fatal("negative bulk retry budget accepted")
+	}
+	// A dead hop (600 m) is not retryable in practice: even the default
+	// budget must give up after spending it, reporting honest counts.
+	net, err := aquago.NewNetwork(aquago.Bridge, aquago.WithNetworkSeed(3), aquago.WithNetworkRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pos := range []aquago.Position{{X: 0, Z: 1}, {X: 25, Z: 1}, {X: 625, Z: 1}} {
+		if _, err := net.Join(aquago.DeviceID(i), pos, aquago.WithNodeClock(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := net.SendBulkVia(context.Background(), []aquago.DeviceID{0, 1, 2}, []byte("hi"))
+	if err == nil {
+		t.Fatalf("600 m hop delivered: %+v", res)
+	}
+	if res.Retries != aquago.DefaultBulkRetries {
+		t.Fatalf("dead hop spent %d retries, want the full default budget %d", res.Retries, aquago.DefaultBulkRetries)
+	}
+}
