@@ -14,6 +14,7 @@
 //	aquabench -multihop [-quick] [-json]
 //	aquabench -scale [-quick] [-json]
 //	aquabench -image [-quick] [-json]
+//	aquabench -mobility [-quick] [-json]
 //	aquabench -all [-quick] [-json] [-out BENCH_exp.json] [-diff BENCH_exp.json]
 //
 // -workers sizes the parallel experiment engine (0 = one worker per
@@ -30,6 +31,8 @@
 // build-out sweep (250 to 10k nodes; quick mode stops at 1k). -image
 // runs the progressive image transmission study (ARQ stream goodput
 // and time-to-first-usable-preview vs range, hop count and load).
+// -mobility runs the drifting-diver study (bulk relay goodput and
+// route repairs vs drift speed under position epochs).
 package main
 
 import (
@@ -76,18 +79,19 @@ type benchFile struct {
 	Experiments []benchExperiment `json:"experiments"`
 }
 
-// macloadIDs / multihopIDs / scaleIDs / imageIDs are the experiments
-// the shorthand flags select.
+// macloadIDs / multihopIDs / scaleIDs / imageIDs / mobilityIDs are
+// the experiments the shorthand flags select.
 var (
 	macloadIDs  = []string{"macload", "macsir"}
 	multihopIDs = []string{"multihop"}
 	scaleIDs    = []string{"scale"}
 	imageIDs    = []string{"image"}
+	mobilityIDs = []string{"mobility"}
 )
 
 // selectExperiments resolves the selection flags into experiment IDs,
 // de-duplicated in run order.
-func selectExperiments(all, macload, multihop, scale, image bool, ids string) ([]string, error) {
+func selectExperiments(all, macload, multihop, scale, image, mobility bool, ids string) ([]string, error) {
 	var selected []string
 	switch {
 	case all:
@@ -109,8 +113,11 @@ func selectExperiments(all, macload, multihop, scale, image bool, ids string) ([
 	if image {
 		selected = append(selected, imageIDs...)
 	}
+	if mobility {
+		selected = append(selected, mobilityIDs...)
+	}
 	if len(selected) == 0 {
-		return nil, errors.New("pass -all, -exp id[,id...], -macload, -multihop, -scale, -image or -list")
+		return nil, errors.New("pass -all, -exp id[,id...], -macload, -multihop, -scale, -image, -mobility or -list")
 	}
 	seen := make(map[string]bool, len(selected))
 	out := selected[:0]
@@ -270,6 +277,7 @@ func main() {
 	multihop := flag.Bool("multihop", false, "run the multi-hop relay study (multihop)")
 	scale := flag.Bool("scale", false, "run the 1k-10k-node harbor build-out sweep (scale)")
 	image := flag.Bool("image", false, "run the progressive image transmission study (image)")
+	mobility := flag.Bool("mobility", false, "run the drifting-diver mobility study (mobility)")
 	packets := flag.Int("packets", 0, "packets per measurement point (0 = default 100)")
 	seed := flag.Int64("seed", 1, "random seed")
 	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
@@ -289,7 +297,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(2)
 	}
-	selected, err := selectExperiments(*all, *macload, *multihop, *scale, *image, *ids)
+	selected, err := selectExperiments(*all, *macload, *multihop, *scale, *image, *mobility, *ids)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aquabench:", err)
 		os.Exit(2)

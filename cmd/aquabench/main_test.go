@@ -10,29 +10,31 @@ import (
 
 func TestSelectExperiments(t *testing.T) {
 	cases := []struct {
-		name                                 string
-		all, macload, multihop, scale, image bool
-		ids                                  string
-		want                                 []string
-		wantErr                              string
+		name                                           string
+		all, macload, multihop, scale, image, mobility bool
+		ids                                            string
+		want                                           []string
+		wantErr                                        string
 	}{
 		{name: "nothing selected", wantErr: "pass -all"},
 		{name: "macload shorthand", macload: true, want: []string{"macload", "macsir"}},
 		{name: "multihop shorthand", multihop: true, want: []string{"multihop"}},
 		{name: "scale shorthand", scale: true, want: []string{"scale"}},
 		{name: "image shorthand", image: true, want: []string{"image"}},
+		{name: "mobility shorthand", mobility: true, want: []string{"mobility"}},
 		{name: "explicit ids", ids: "fig09, fig12", want: []string{"fig09", "fig12"}},
 		{name: "ids plus macload", ids: "fig09", macload: true, want: []string{"fig09", "macload", "macsir"}},
 		{name: "macload deduplicates", ids: "macload", macload: true, want: []string{"macload", "macsir"}},
-		{name: "all shorthands", macload: true, multihop: true, scale: true, image: true,
-			want: []string{"macload", "macsir", "multihop", "scale", "image"}},
+		{name: "all shorthands", macload: true, multihop: true, scale: true, image: true, mobility: true,
+			want: []string{"macload", "macsir", "multihop", "scale", "image", "mobility"}},
 		{name: "multihop deduplicates", ids: "multihop", multihop: true, want: []string{"multihop"}},
 		{name: "scale deduplicates", ids: "scale", scale: true, want: []string{"scale"}},
 		{name: "image deduplicates", ids: "image", image: true, want: []string{"image"}},
+		{name: "mobility deduplicates", ids: "mobility", mobility: true, want: []string{"mobility"}},
 		{name: "empty id", ids: "fig09,,fig12", wantErr: "empty experiment ID"},
 	}
 	for _, tc := range cases {
-		got, err := selectExperiments(tc.all, tc.macload, tc.multihop, tc.scale, tc.image, tc.ids)
+		got, err := selectExperiments(tc.all, tc.macload, tc.multihop, tc.scale, tc.image, tc.mobility, tc.ids)
 		switch {
 		case tc.wantErr != "":
 			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
@@ -55,7 +57,7 @@ func TestSelectExperiments(t *testing.T) {
 	}
 	// -all must include the new experiments (the bench job relies on
 	// one invocation covering every gated throughput block).
-	all, err := selectExperiments(true, false, false, false, false, "")
+	all, err := selectExperiments(true, false, false, false, false, false, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,8 +65,8 @@ func TestSelectExperiments(t *testing.T) {
 	for _, id := range all {
 		found[id] = true
 	}
-	if !found["macload"] || !found["macsir"] || !found["multihop"] || !found["scale"] || !found["image"] {
-		t.Fatalf("-all selection %v is missing macload/macsir/multihop/scale/image", all)
+	if !found["macload"] || !found["macsir"] || !found["multihop"] || !found["scale"] || !found["image"] || !found["mobility"] {
+		t.Fatalf("-all selection %v is missing macload/macsir/multihop/scale/image/mobility", all)
 	}
 }
 

@@ -25,8 +25,11 @@
 // sends an AquaScope-style progressive image (CRC-8 per block) over a
 // stream, a relay line (-hops) or concurrent streams (-streams) and
 // reports image goodput and time-to-first-usable-preview (the sweeps
-// live in `aquabench -image`). All modes run entirely on the public
-// Network API.
+// live in `aquabench -image`). The -mobility mode drifts a diver
+// along a fixed relay line while bulk-transferring in chunks — one
+// position epoch per chunk — and reports goodput, motion epochs and
+// route repairs (the sweep lives in `aquabench -mobility`). All modes
+// run entirely on the public Network API.
 //
 // Usage:
 //
@@ -46,6 +49,9 @@
 //	aquanet -image [-blocks 16] [-blocksize 7] [-preview 0] [-hops N]
 //	        [-streams 1] [-range 25] [-window 0] [-stream-retries 4] [-rto 0]
 //	        [-mode envelope|waveform] [-workers 0] [-seed 1] [-env bridge]
+//	aquanet -mobility [-hops 3] [-spacing 25] [-bulk 32] [-chunk 8]
+//	        [-drift 1] [-pipelined] [-queue 64] [-workers 0] [-seed 1]
+//	        [-env bridge] [-csrange 0]
 package main
 
 import (
@@ -308,6 +314,40 @@ func buildRelayPoint(hops int, spacing float64, bulk int, mode, policy string,
 	return p, nil
 }
 
+// buildMobilityPoint turns -mobility flags into a validated
+// drifting-diver measurement point; the point's own Validate (shared
+// with the mobility harness) rejects hop/spacing/payload/drift abuse.
+func buildMobilityPoint(hops int, spacing float64, bulk, chunk int, drift float64,
+	pipelined bool, queueCap, workers int, seed int64, csRange float64,
+	env aquago.Environment) (exp.MobilityPoint, error) {
+	if err := validateCommonFlags(seed, csRange); err != nil {
+		return exp.MobilityPoint{}, err
+	}
+	if !pipelined && queueCap != aquago.DefaultTxQueueCap {
+		return exp.MobilityPoint{}, fmt.Errorf("-queue %d only matters with -pipelined", queueCap)
+	}
+	p := exp.MobilityPoint{
+		Hops:         hops,
+		SpacingM:     spacing,
+		CSRangeM:     csRange,
+		PayloadBytes: bulk,
+		ChunkBytes:   chunk,
+		DriftSpeedMS: drift,
+		Seed:         seed,
+		Retries:      -1,
+		Env:          env,
+		Workers:      workers,
+	}
+	if pipelined {
+		p.Pipelined = true
+		p.QueueCap = queueCap
+	}
+	if err := p.Validate(); err != nil {
+		return exp.MobilityPoint{}, err
+	}
+	return p, nil
+}
+
 func main() {
 	nTx := flag.Int("tx", 3, "number of transmitters (Fig 19 mode)")
 	packets := flag.Int("packets", 120, "packets per transmitter (Fig 19 mode)")
@@ -351,6 +391,9 @@ func main() {
 	blockSize := flag.Int("blocksize", 7, "bytes per image block before its CRC-8 trailer (-image)")
 	preview := flag.Int("preview", 0, "blocks needed for a usable preview, 0 = a quarter of the image (-image)")
 	streams := flag.Int("streams", 1, "concurrent image streams through one pod (-image)")
+	mobility := flag.Bool("mobility", false, "mobility mode: drift a diver along a relay line while bulk-transferring")
+	drift := flag.Float64("drift", 1, "diver drift speed in m/s, 0 = static baseline (-mobility)")
+	chunk := flag.Int("chunk", 8, "bulk chunk size in bytes, one motion epoch per chunk (-mobility)")
 	flag.Parse()
 
 	env, ok := channel.ByName(*envName)
@@ -359,13 +402,22 @@ func main() {
 		os.Exit(1)
 	}
 	modes := 0
-	for _, on := range []bool{*relay, *load, *scale, *stream, *image} {
+	for _, on := range []bool{*relay, *load, *scale, *stream, *image, *mobility} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fatal(errors.New("pick one of -relay, -load, -scale, -stream and -image"))
+		fatal(errors.New("pick one of -relay, -load, -scale, -stream, -image and -mobility"))
+	}
+	if *mobility {
+		pt, err := buildMobilityPoint(*hops, *spacing, *bulk, *chunk, *drift,
+			*pipelined, *queueCap, *workers, *seed, *csRange, env)
+		if err != nil {
+			fatal(err)
+		}
+		runMobility(pt, env.Name)
+		return
 	}
 	if *stream {
 		pt, err := buildStreamPoint(*rangeM, *streamBytes, *window, *streamRetries, *rto,
@@ -497,6 +549,26 @@ func runRelay(pt exp.MultiHopPoint, envName string) {
 	}
 	fmt.Printf("delivered   %d/%d packets (%d attempts) over %d hops\n",
 		res.DeliveredPackets, res.Packets, res.Attempts, res.Hops)
+	fmt.Printf("end-to-end  %.2f s latency, %.2f bps goodput\n", res.LatencyS, res.GoodputBPS)
+}
+
+// runMobility drifts the diver down the relay line and prints the
+// same numbers the mobility harness tabulates.
+func runMobility(pt exp.MobilityPoint, envName string) {
+	transfer := "store-and-forward with in-flight route splices"
+	if pt.Pipelined {
+		transfer = fmt.Sprintf("pipelined (queue cap %d), fresh route per chunk", pt.QueueCap)
+	}
+	fmt.Printf("Mobility simulation: %d bytes in %d-byte chunks over %d hops (%g m spacing), diver drifting %g m/s, %s, %s\n",
+		pt.PayloadBytes, pt.ChunkBytes, pt.Hops, pt.SpacingM, pt.DriftSpeedMS, envName, transfer)
+	res, err := exp.RunMobilityPoint(pt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("delivered   %d/%d packets (%d attempts, %d retries) in %d chunks\n",
+		res.DeliveredPackets, res.Packets, res.Attempts, res.Retries, res.Chunks)
+	fmt.Printf("motion      %d position epoch(s), %d route repair(s), route %d -> %d hops\n",
+		res.Epochs, res.Reroutes, res.InitialHops, res.FinalHops)
 	fmt.Printf("end-to-end  %.2f s latency, %.2f bps goodput\n", res.LatencyS, res.GoodputBPS)
 }
 

@@ -37,11 +37,14 @@ var (
 	// tone per data subcarrier; a Network accepts IDs up to
 	// MaxNetworkDevices, carrying ID mod 60 on the air.
 	ErrBadDeviceID = phy.ErrBadDeviceID
-	// ErrAddressClash: a Join whose on-air tone (device ID mod 60) is
-	// already in use by another node within carrier-sense audibility
-	// of the new position. The 60-tone address space is reused
+	// ErrAddressClash: a Join — or a position epoch (Node.SetPosition,
+	// Network.AdvanceMotion) — whose on-air tone (device ID mod 60)
+	// would be in use by another node within carrier-sense audibility
+	// of the target position. The 60-tone address space is reused
 	// spatially; two audible nodes sharing a tone could not be told
-	// apart by a receiver.
+	// apart by a receiver. A refused move leaves the position
+	// unchanged (AdvanceMotion parks the mover — see
+	// MotionEpoch.Parked).
 	ErrAddressClash = errors.New("aquago: on-air address tone already audible")
 	// ErrUnknownDevice: a Send to a device that never joined the
 	// network.
@@ -77,6 +80,12 @@ var (
 	// work drains with this error, and new sends from — or addressed
 	// to — the departed node are refused with it.
 	ErrNodeLeft = errors.New("aquago: node left the network")
+
+	// The motion layer's taxonomy (motion.go). ErrBadTrack: an unusable
+	// motion track (no waypoints, non-finite coordinates or times,
+	// times not strictly ascending) or a non-finite position/epoch time
+	// passed to SetPosition/AdvanceMotion.
+	ErrBadTrack = errors.New("aquago: invalid motion track")
 
 	// The stream transport's taxonomy (stream.go). ErrBadStream: an
 	// OpenStream option outside its valid range — a window outside

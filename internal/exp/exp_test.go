@@ -15,7 +15,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"fig15", "fig16", "fig17", "fig18", "fig19",
 		"tab-preamble", "tab-runtime",
 		"abl-waterfill", "abl-macpreamble", "abl-softdecision",
-		"macload", "macsir", "multihop", "scale", "image",
+		"macload", "macsir", "multihop", "scale", "image", "mobility",
 	}
 	have := IDs()
 	if len(have) != len(want) {

@@ -14,7 +14,9 @@ import (
 // structure that turns the O(N^2) pairwise geometry scans into
 // O(neighborhood) work at 1 000-10 000 nodes.
 //
-// Grid is append-only (nodes never leave the water) and not safe for
+// Nodes never leave the grid (a departed radio does not move the
+// water), but they may move through it: Move re-buckets a node whose
+// position epoch crossed a cell boundary. Grid is not safe for
 // concurrent use; callers serialize access, like the Medium it
 // mirrors. A cell size <= 0 disables indexing — the caller's
 // brute-force "everyone is a candidate" mode.
@@ -63,6 +65,36 @@ func (g *Grid) Add(idx int, p Position) {
 	}
 	key := g.cellOf(p)
 	g.cells[key] = append(g.cells[key], int32(idx))
+}
+
+// Move relocates node idx to p, re-bucketing it when the move crosses
+// a cell boundary. Bucket order within a cell is not maintained —
+// AppendWithin sorts its candidates, so every consumer still sees
+// ascending indices.
+func (g *Grid) Move(idx int, p Position) {
+	if idx < 0 || idx >= len(g.pos) {
+		panic("sim: grid move of unknown node")
+	}
+	if !g.Enabled() {
+		g.pos[idx] = p
+		return
+	}
+	oldKey, newKey := g.cellOf(g.pos[idx]), g.cellOf(p)
+	g.pos[idx] = p
+	if oldKey == newKey {
+		return
+	}
+	bucket := g.cells[oldKey]
+	for i, j := range bucket {
+		if int(j) == idx {
+			g.cells[oldKey] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(g.cells[oldKey]) == 0 {
+		delete(g.cells, oldKey)
+	}
+	g.cells[newKey] = append(g.cells[newKey], int32(idx))
 }
 
 // AppendWithin appends to dst every node index whose position lies

@@ -68,6 +68,21 @@ func (ls *Links) Link(tx, rx int) (*channel.Link, error) {
 	return l, nil
 }
 
+// InvalidateNode drops every cached directed link touching the node —
+// the link layer's position-epoch hook: after a move, the node's pair
+// geometry is stale, and the next Link/Pair rebuilds it (impulse
+// response, delays, noise realization) from the medium's current
+// positions. Links of unmoved pairs keep their state, so their
+// channel evolution is untouched by someone else's motion.
+func (ls *Links) InvalidateNode(node int) {
+	//aqualint:order-independent each key is tested against the moved node and deleted independently; the surviving cache is the same whatever order the entries are visited in
+	for key := range ls.cache {
+		if key[0] == node || key[1] == node {
+			delete(ls.cache, key)
+		}
+	}
+}
+
 // buildLink constructs the directed channel from node geometry and
 // the endpoints' properties, bypassing the cache.
 func (ls *Links) buildLink(tx, rx int) (*channel.Link, error) {

@@ -108,6 +108,25 @@ func (m *Medium) AddNode(p Position) int {
 	return len(m.positions) - 1
 }
 
+// SetPosition relocates a node — one position epoch of the motion
+// layer. The bounding box only ever grows: it must upper-bound the
+// distance between any two positions nodes *ever* held, because
+// retained transmissions were emitted from old positions and a looser
+// bound only keeps a transmission slightly longer, never drops one
+// early.
+func (m *Medium) SetPosition(idx int, p Position) {
+	if idx < 0 || idx >= len(m.positions) {
+		panic(fmt.Sprintf("sim: position epoch for unknown node %d", idx))
+	}
+	m.positions[idx] = p
+	m.bboxMin.X = math.Min(m.bboxMin.X, p.X)
+	m.bboxMin.Y = math.Min(m.bboxMin.Y, p.Y)
+	m.bboxMin.Z = math.Min(m.bboxMin.Z, p.Z)
+	m.bboxMax.X = math.Max(m.bboxMax.X, p.X)
+	m.bboxMax.Y = math.Max(m.bboxMax.Y, p.Y)
+	m.bboxMax.Z = math.Max(m.bboxMax.Z, p.Z)
+}
+
 // NumNodes returns the node count.
 func (m *Medium) NumNodes() int { return len(m.positions) }
 

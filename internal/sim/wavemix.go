@@ -74,6 +74,12 @@ func (wb *WaveBank) SetEndpoint(node int, ep Endpoint) {
 	wb.links.SetEndpoint(node, ep)
 }
 
+// InvalidateNode drops the bank's cached links touching the node (see
+// Links.InvalidateNode). Call inside Sync when moves can race mixes.
+func (wb *WaveBank) InvalidateNode(node int) {
+	wb.links.InvalidateNode(node)
+}
+
 // Add registers a transmitted waveform starting at startS. DurS is
 // derived from the sample count; the samples are retained by reference
 // and must not be mutated afterwards.

@@ -343,12 +343,21 @@ type Network struct {
 	// across joined nodes — Prune's bound on future durations.
 	wcAirtimeS float64
 	// Routing caches (route.go): shortest paths (with their policy
-	// cost) and ETX edge weights per node-index pair. Positions are
-	// fixed at Join, so ETX entries never go stale; a Join invalidates
+	// cost) and ETX edge weights per node-index pair. Entries stay
+	// valid until the geometry under them changes: a Join invalidates
 	// only the routes the new node could have shortened
-	// (noteJoinLocked).
+	// (noteJoinLocked), a position epoch drops the mover's ETX entries
+	// and re-prices routes against its new position (noteMoveLocked),
+	// and a Leave drops routes through the departed node
+	// (noteLeaveLocked).
 	routeCache map[[2]int]cachedRoute
 	etxCache   map[[2]int]float64
+	// Motion layer state (motion.go): geoEpoch counts applied position
+	// epochs (0 = Join-time geometry, the static fast paths), and
+	// motionClockS is the monotone virtual time tracks were last
+	// evaluated at (AdvanceMotion).
+	geoEpoch     uint64
+	motionClockS float64
 
 	// Conflict-graph scheduler state (sched.go).
 	gateSeq uint64
@@ -475,6 +484,11 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 	if !tone.Valid(m.Config()) {
 		return nil, fmt.Errorf("%w: %d", ErrBadDeviceID, id)
 	}
+	if nc.trackSet {
+		if err := nc.track.validate(); err != nil {
+			return nil, fmt.Errorf("joining %d: %w", id, err)
+		}
+	}
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -530,12 +544,14 @@ func (n *Network) Join(id DeviceID, pos Position, opts ...NodeOption) (*Node, er
 	n.frontier = append(n.frontier, 0)
 
 	nd := &Node{
-		net:   n,
-		id:    id,
-		tone:  tone,
-		idx:   idx,
-		pos:   pos,
-		trace: nc.trace,
+		net:      n,
+		id:       id,
+		tone:     tone,
+		idx:      idx,
+		pos:      pos,
+		trace:    nc.trace,
+		track:    nc.track,
+		hasTrack: nc.trackSet,
 	}
 	if nc.clockSet {
 		nd.clockS = nc.clockS

@@ -19,6 +19,8 @@ type nodeConfig struct {
 	trace    Trace
 	clockS   float64
 	clockSet bool
+	track    MotionTrack
+	trackSet bool
 }
 
 // WithNodeDevice selects the node's device model (default Galaxy S9).
@@ -27,9 +29,12 @@ func WithNodeDevice(d Device) NodeOption {
 	return func(c *nodeConfig) { c.device = d }
 }
 
-// WithNodeMotion applies a motion model to the node (Static,
-// SlowMotion, FastMotion). A link between two nodes varies as fast as
-// its faster-moving end.
+// WithNodeMotion applies a motion model to the node's *channel*
+// (Static, SlowMotion, FastMotion): a link between two nodes varies —
+// Doppler spread, fading rate — as fast as its faster-moving end. It
+// does not move the node's position; pair it with WithMotionTrack (or
+// Node.SetPosition) to make the geometry actually follow the motion
+// the channel models.
 func WithNodeMotion(m Motion) NodeOption {
 	return func(c *nodeConfig) { c.motion = m }
 }
@@ -72,8 +77,10 @@ type Node struct {
 	// tone is the on-air address the modem's ID/ACK tones carry: id
 	// mod 60, unique within carrier-sense audibility (Join enforces
 	// it). For IDs below 60 the tone IS the ID.
-	tone  DeviceID
-	idx   int
+	tone DeviceID
+	idx  int
+	// pos is the node's current position — no longer fixed at Join:
+	// position epochs (motion.go) move it. Guarded by net.mu.
 	pos   Position
 	proto *phy.Protocol
 	msgr  *app.Messenger
@@ -92,6 +99,11 @@ type Node struct {
 	// txq is the node's async transmit queue state (txq.go), created
 	// at Join; the queue's own lock (net.tx.mu) guards it.
 	txq *nodeTxq
+
+	// track is the node's motion trajectory, evaluated by
+	// Network.AdvanceMotion; hasTrack gates it (immutable after Join).
+	track    MotionTrack
+	hasTrack bool
 
 	// Guarded by net.mu.
 	clockS   float64
@@ -131,8 +143,13 @@ func (nd *Node) ID() DeviceID { return nd.id }
 // the key used by ContentionResult.PerNode.
 func (nd *Node) Index() int { return nd.idx }
 
-// Position returns where the node sits.
-func (nd *Node) Position() Position { return nd.pos }
+// Position returns where the node currently sits (position epochs —
+// SetPosition, Network.AdvanceMotion — move it).
+func (nd *Node) Position() Position {
+	nd.net.mu.Lock()
+	defer nd.net.mu.Unlock()
+	return nd.pos
+}
 
 // ClockS returns the node's virtual clock: the time its next
 // transmission becomes ready.

@@ -39,7 +39,10 @@ type RelayResult struct {
 
 // BulkResult reports a bulk payload transfer (SendBulk, SendBulkVia).
 type BulkResult struct {
-	// Path is the walked relay path (source first, destination last).
+	// Path is the relay path as last walked: under motion (position
+	// epochs) SendBulkVia re-routes mid-transfer when its next hop goes
+	// inaudible or departs, so the final path may differ from the one
+	// the transfer started on.
 	Path []DeviceID
 	// Packets is how many 2-byte protocol packets the payload split
 	// into; DeliveredPackets how many arrived end-to-end (a failed
@@ -60,6 +63,13 @@ type BulkResult struct {
 	// network's bulk retry budget (WithBulkRetries). Zero on a
 	// transfer that never lost a packet.
 	Retries int
+	// Reroutes counts mid-transfer route repairs: hops whose next node
+	// had moved out of earshot (or departed) by the time the packet
+	// reached them, spliced onto a fresh routed path to the
+	// destination. Always zero on a static network (SendBulkVia only
+	// checks once a position epoch has occurred) and in the pipelined
+	// transfer, whose path is fixed at launch.
+	Reroutes int
 	// Bands records the band each delivered packet's final hop used —
 	// the per-packet re-adaptation trace (bands differ as the channel
 	// evolves between packets).
@@ -215,6 +225,18 @@ func (n *Network) SendVia(ctx context.Context, path []DeviceID, msgs ...uint8) (
 // them. Only an exhausted budget (or a non-transient failure: context
 // cancelled, node left) kills the transfer.
 //
+// Under motion the transfer maintains its own route: before each hop
+// send (and each retry), if a position epoch has moved the next node
+// out of earshot of the packet's holder — or the next node departed —
+// the remainder of the path is replaced by a fresh routed path from
+// the holder to the destination (BulkResult.Reroutes counts these;
+// Path reports the path as last walked). A spliced path may revisit an
+// earlier node — physically honest store-and-forward when geometry
+// shifted under the transfer. On a static network no epoch has
+// occurred and no check runs, byte-identically to the pre-motion
+// behavior. A repair that finds no route (ErrNoRoute) or a departed
+// destination (ErrNodeLeft) kills the transfer like any hop failure.
+//
 // Odd-length payloads pad the final packet on the air; the pad byte
 // never reaches Received. Errors follow SendVia's contract, with
 // RelayError.Pkt naming the packet the path died on; the BulkResult
@@ -232,21 +254,40 @@ func (n *Network) SendBulkVia(ctx context.Context, path []DeviceID, payload []by
 		Packets: (len(payload) + 1) / 2,
 		StartS:  nodes[0].ClockS(),
 	}
-	hops := len(path) - 1
 	for p := 0; p < out.Packets; p++ {
 		chunk := [2]byte{payload[2*p], 0}
 		padded := 2*p+2 > len(payload) // odd tail: second byte is padding
 		if !padded {
 			chunk[1] = payload[2*p+1]
 		}
-		for h := 0; h < hops; h++ {
-			rc := relayCtx{hop: h, pathHops: hops, bulkPkt: p, bulkPkts: out.Packets}
+		// Motion can re-route mid-transfer, so the path (and hop count)
+		// may change between — and within — hops; the loop bounds re-read
+		// it each iteration.
+		for h := 0; h < len(nodes)-1; h++ {
 			var (
 				res  SendResult
 				endS float64
 			)
 			floor := 0.0
 			for try := 0; ; try++ {
+				// Route maintenance under motion: if a position epoch has
+				// moved the next hop out of earshot (or it departed), splice
+				// a fresh routed path to the destination before — or instead
+				// of — burning the retry budget on an unreachable hop.
+				spliced, changed, rerr := n.rerouteBulkHop(nodes, h)
+				if rerr != nil {
+					return out, &RelayError{Hop: h, From: path[h], To: path[h+1], Path: out.Path, Pkt: p, Err: rerr}
+				}
+				if changed {
+					nodes = spliced
+					path = make([]DeviceID, len(nodes))
+					for i, nd := range nodes {
+						path[i] = nd.id
+					}
+					out.Path = append([]DeviceID(nil), path...)
+					out.Reroutes++
+				}
+				rc := relayCtx{hop: h, pathHops: len(nodes) - 1, bulkPkt: p, bulkPkts: out.Packets}
 				var err error
 				res, endS, err = nodes[h].sendWith(ctx, path[h+1], rc, floor, &chunk, 0, 0)
 				out.Attempts += res.Attempts
@@ -269,7 +310,7 @@ func (n *Network) SendBulkVia(ctx context.Context, path []DeviceID, payload []by
 			// conservation holds hop to hop by construction. Each
 			// attempt's raw decode — dirty ones included — is available
 			// for audit on Result.Decoded.
-			if h+1 < hops {
+			if h+1 < len(nodes)-1 {
 				nodes[h+1].AdvanceClock(endS + relayTurnaroundS)
 			} else {
 				out.EndS = endS
@@ -286,6 +327,43 @@ func (n *Network) SendBulkVia(ctx context.Context, path []DeviceID, payload []by
 		}
 	}
 	return out, nil
+}
+
+// rerouteBulkHop is the relay layer's route maintenance under motion:
+// called with a bulk transfer's current node path and the hop about to
+// run, it checks — only once a position epoch has occurred, so static
+// transfers never pay or change — whether nodes[h+1] is still a
+// viable next hop (not departed, within earshot of nodes[h], the
+// packet's holder). If not, it returns the path re-spliced at h: the
+// walked prefix through nodes[h] plus a fresh routed path from there
+// to the destination. The splice may revisit an earlier node — under
+// changed geometry that is honest store-and-forward, not a loop (the
+// no-repeat rule guards explicit caller paths only). A departed
+// destination returns ErrNodeLeft; an unreachable one ErrNoRoute.
+func (n *Network) rerouteBulkHop(nodes []*Node, h int) ([]*Node, bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.geoEpoch == 0 {
+		return nodes, false, nil
+	}
+	cur, next := nodes[h], nodes[h+1]
+	if !next.departed && n.audibleLocked(cur.idx, next.idx) {
+		return nodes, false, nil
+	}
+	dst := nodes[len(nodes)-1]
+	if dst.departed {
+		return nodes, false, fmt.Errorf("%w: destination %d", ErrNodeLeft, dst.id)
+	}
+	idxPath, err := n.routeLocked(cur.idx, dst.idx)
+	if err != nil {
+		return nodes, false, err
+	}
+	spliced := make([]*Node, 0, h+len(idxPath))
+	spliced = append(spliced, nodes[:h+1]...)
+	for _, idx := range idxPath[1:] {
+		spliced = append(spliced, n.order[idx])
+	}
+	return spliced, true, nil
 }
 
 // SendBulk transfers an arbitrary payload to dst over the network's
@@ -381,6 +459,14 @@ const pipelineWindow = 2
 // — a packet that was already past the failed hop, or even delivered
 // end-to-end behind the failure, never counts as delivered payload.
 // Cancelling ctx aborts the transfer the same way.
+//
+// Unlike SendBulkVia, the pipelined transfer's path is fixed at
+// launch: packets at different hops would otherwise disagree about
+// the path, and a splice racing in-flight jobs would break the
+// deterministic dispatch order. Under motion, re-route between
+// pipelined transfers (Route reflects each position epoch); a hop
+// whose geometry walked away mid-transfer fails through the normal
+// retry budget.
 func (n *Network) SendBulkViaPipelined(ctx context.Context, path []DeviceID, payload []byte) (BulkResult, error) {
 	nodes, err := n.resolvePath(path)
 	if err != nil {

@@ -98,17 +98,23 @@ type cachedRoute struct {
 // starts at src, ends at dst, visits no node twice, and every
 // consecutive pair is audible (within the carrier-sense range — with
 // an unlimited range this is always the direct [src dst] path).
-// Unknown endpoints return ErrUnknownDevice, src == dst returns
-// ErrBadDeviceID, and a partitioned audibility graph returns
-// ErrNoRoute. Paths and edge weights are cached per geometry; a Join
-// invalidates only the paths the new node could actually shorten, so
-// repeated sends pay for one shortest-path run.
+// Unknown endpoints return ErrUnknownDevice, departed endpoints
+// ErrNodeLeft, src == dst ErrBadDeviceID, and a partitioned audibility
+// graph ErrNoRoute. Paths never relay through departed nodes. Paths
+// and edge weights are cached per geometry; a Join invalidates only
+// the paths the new node could actually shorten, a position epoch only
+// what the mover made stale (noteMoveLocked), a Leave only the paths
+// through the departed node — so repeated sends pay for one
+// shortest-path run.
 func (n *Network) Route(src, dst DeviceID) ([]DeviceID, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	from, ok := n.nodes[src]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownDevice, src)
+	}
+	if from.departed {
+		return nil, fmt.Errorf("%w: source %d", ErrNodeLeft, src)
 	}
 	to, err := n.peerLocked(from, dst)
 	if err != nil {
@@ -142,11 +148,12 @@ func (n *Network) audibleLocked(i, j int) bool {
 // hopWeightLocked returns the policy cost of the directed hop
 // u -> v. MinHop charges 1 per hop; MinETX charges the expected
 // transmission count 1/(p_fwd * p_bwd) — data rides the forward
-// link, the ACK the backward one. ETX weights are cached per pair
-// (the realization is seeded, so the quality never changes under a
-// fixed geometry — which is also why Join never drops this cache:
-// pair weights are a function of the two endpoints alone). Callers
-// hold n.mu.
+// link, the ACK the backward one. ETX weights are cached per pair:
+// the realization is seeded, so under a fixed geometry the quality
+// never changes — pair weights are a function of the two endpoints'
+// positions alone, which is why Join never drops this cache and why a
+// position epoch drops exactly the mover's pairs (noteMoveLocked)
+// before re-probing them. Callers hold n.mu.
 func (n *Network) hopWeightLocked(u, v int) (float64, error) {
 	if n.cfg.routing != MinETX {
 		return 1, nil
@@ -262,7 +269,10 @@ func (n *Network) routeLocked(src, dst int) ([]int, error) {
 		done[u] = true
 		var werr error
 		n.forEachAudibleLocked(u, func(v int) {
-			if done[v] || werr != nil {
+			// A departed node's radio is gone: no path may relay through
+			// it (Leave keeps it in the index structures — the water
+			// doesn't move — but the route layer must not).
+			if done[v] || n.order[v].departed || werr != nil {
 				return
 			}
 			w, err := n.hopWeightLocked(u, v)
@@ -323,7 +333,8 @@ func (n *Network) distFromLocked(src int) ([]float64, error) {
 		done[u] = true
 		var werr error
 		n.forEachAudibleLocked(u, func(v int) {
-			if done[v] || werr != nil {
+			// Departed nodes relay nothing (see routeLocked).
+			if done[v] || n.order[v].departed || werr != nil {
 				return
 			}
 			w, err := n.hopWeightLocked(u, v)
@@ -383,4 +394,89 @@ func (n *Network) noteJoinLocked(newIdx int) {
 			delete(n.routeCache, key)
 		}
 	}
+}
+
+// noteMoveLocked invalidates what a position epoch of node idx made
+// stale, without touching the rest of the caches:
+//
+//   - every ETX pair weight touching the mover (pair weights are a
+//     function of the two endpoints' positions — the mover's changed);
+//   - every cached route that *walks through* the mover (its hop
+//     geometry changed, and hops into or out of it may no longer be
+//     audible);
+//   - and, by the same symmetric-weight pricing argument as
+//     noteJoinLocked, every surviving entry the mover's new position
+//     could beat: a strictly better path on the new graph must pass
+//     through the mover, costing at least d[a] + d[b] from its new
+//     position (<= also invalidates, guarding the tie-break).
+//
+// The pricing Dijkstra runs over the already-patched adjacency and
+// lazily re-probes the mover's ETX weights at the new position through
+// hopWeightLocked — the per-epoch ETX re-probe. Entries avoiding the
+// mover and priced safe kept their exact old cost: no other pair's
+// geometry changed. Callers hold n.mu, after patchAdjacencyLocked.
+func (n *Network) noteMoveLocked(idx int) {
+	//aqualint:order-independent each key is tested against the mover and deleted independently; the surviving cache is the same whatever order the entries are visited in
+	for key := range n.etxCache {
+		if key[0] == idx || key[1] == idx {
+			delete(n.etxCache, key)
+		}
+	}
+	if len(n.routeCache) == 0 {
+		return
+	}
+	//aqualint:order-independent each entry's path is tested for the mover and deleted independently; the surviving set is the same whatever order the entries are visited in
+	for key, r := range n.routeCache {
+		if pathContains(r.path, idx) {
+			delete(n.routeCache, key)
+		}
+	}
+	if len(n.routeCache) == 0 {
+		return
+	}
+	reachable := false
+	n.forEachAudibleLocked(idx, func(int) { reachable = true })
+	if !reachable {
+		// The mover is isolated at its new position: it offers no new
+		// edges, and every path through it is already gone.
+		return
+	}
+	dist, err := n.distFromLocked(idx)
+	if err != nil {
+		n.routeCache = nil
+		return
+	}
+	//aqualint:order-independent each entry is tested against the mover's distance vector and deleted or kept independently; the surviving set is the same whatever order the entries are visited in
+	for key, r := range n.routeCache {
+		if dist[key[0]]+dist[key[1]] <= r.cost {
+			delete(n.routeCache, key)
+		}
+	}
+}
+
+// noteLeaveLocked invalidates the cached routes that relay through the
+// node that just departed (index idx) — the Leave-time counterpart of
+// noteJoinLocked, fixing the stale-path bug where Route kept returning
+// cached paths through departed radios. Only paths *through* the node
+// go: a departure adds no edges, so every other cached path is still
+// optimal. ETX pair weights stay — they are pure pair geometry, and
+// routeLocked's departed-skip already keeps the dead node out of new
+// paths. Callers hold n.mu.
+func (n *Network) noteLeaveLocked(idx int) {
+	//aqualint:order-independent each entry's path is tested for the departed node and deleted independently; the surviving set is the same whatever order the entries are visited in
+	for key, r := range n.routeCache {
+		if pathContains(r.path, idx) {
+			delete(n.routeCache, key)
+		}
+	}
+}
+
+// pathContains reports whether the node index appears on the path.
+func pathContains(path []int, idx int) bool {
+	for _, p := range path {
+		if p == idx {
+			return true
+		}
+	}
+	return false
 }

@@ -165,6 +165,56 @@ func (n *Network) registerTicketLocked(tx, rx int) *ticket {
 	return tk
 }
 
+// rewireTicketsLocked recomputes the conflict edges of coexisting
+// tickets after node moved's position epoch: every unresolved ticket
+// pair with the mover at an endpoint is re-tested against interferes
+// at the new geometry, gaining the edge it now needs or dropping the
+// one it no longer does (waking the blocked ticket when that was its
+// last). Pairs not touching the mover keep their distances and their
+// edges.
+//
+// Admission is monotone: a ticket whose ready channel already closed
+// keeps its admission even if the move creates a conflict with an
+// earlier ticket — a closed channel cannot re-arm, and its waiter may
+// already be past the gate. That is the honest semantics of moving
+// while exchanges are in flight (a radio cannot un-hear a grant), and
+// it is never exercised at quiescent points — move between transfers
+// and every coexisting ticket set is empty. n.tickets holds only
+// unresolved tickets in ascending sequence order, so the scan is a
+// pure function of ticket state and geometry. Callers hold n.mu.
+func (n *Network) rewireTicketsLocked(moved int) {
+	for ui, u := range n.tickets {
+		for _, t := range n.tickets[ui+1:] {
+			if u.tx != moved && u.rx != moved && t.tx != moved && t.rx != moved {
+				continue
+			}
+			want := n.interferes(u.tx, u.rx, t.tx, t.rx)
+			has := -1
+			for i, b := range u.blocks {
+				if b == t {
+					has = i
+					break
+				}
+			}
+			switch {
+			case want && has < 0 && t.waits > 0:
+				// A new conflict — but only for tickets still parked
+				// (waits > 0): an admitted ticket's ready channel is
+				// closed and cannot block again (see above).
+				u.blocks = append(u.blocks, t)
+				t.waits++
+				n.stats.ConflictEdges++
+			case !want && has >= 0:
+				u.blocks = append(u.blocks[:has], u.blocks[has+1:]...)
+				t.waits--
+				if t.waits == 0 {
+					close(t.ready)
+				}
+			}
+		}
+	}
+}
+
 // resolveLocked removes tk from the unresolved set and wakes exactly
 // the tickets its resolution unblocks.
 func (n *Network) resolveLocked(tk *ticket) {

@@ -672,9 +672,13 @@ func (n *Network) Flush(ctx context.Context) error {
 // Leave departs the node from the network's traffic plane: its queued
 // jobs drain immediately with ErrNodeLeft, its inflight job (if any)
 // is aborted, and every later send from it — or addressed to it —
-// fails with ErrNodeLeft. The node's geometry stays: departed radios
-// do not change the audibility graph other nodes were built on (a
-// diver surfacing does not move the water). Leave is idempotent.
+// fails with ErrNodeLeft. The node also leaves the routing plane:
+// cached routes relaying through it are invalidated and new routes
+// never pass through a departed node (previously Network.Route kept
+// returning cached paths through departed radios). The node's
+// geometry stays: departed radios do not change the audibility graph
+// other nodes were built on (a diver surfacing does not move the
+// water). Leave is idempotent.
 func (nd *Node) Leave() {
 	n := nd.net
 	n.tx.mu.Lock()
@@ -685,6 +689,7 @@ func (nd *Node) Leave() {
 		return
 	}
 	nd.departed = true
+	n.noteLeaveLocked(nd.idx)
 	n.mu.Unlock()
 	for p := range nd.txq.q {
 		for len(nd.txq.q[p]) > 0 {
